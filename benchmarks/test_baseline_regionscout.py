@@ -1,0 +1,25 @@
+"""Benchmark (extension): virtual snooping vs the RegionScout baseline.
+
+Not a paper figure. Quantifies the related-work trade-off Section VII
+discusses: region-based filters need per-core tables (CRH + NSRT) but
+filter at address granularity and are oblivious to vCPU migration;
+virtual snooping is table-free but its vCPU maps dilate under migration
+until the residence counters recover.
+"""
+
+from conftest import emit
+from repro.experiments import baseline_comparison
+
+
+def test_baseline_regionscout(benchmark):
+    results = benchmark.pedantic(baseline_comparison.run, rounds=1, iterations=1)
+    emit(baseline_comparison.format_result(results))
+    for app, row in results.items():
+        # Pinned virtual snooping sits at the ideal 25% (4 of 16 cores).
+        assert abs(row["vsnoop_pinned"] - 25.0) < 3.0, app
+        # Migration hurts virtual snooping...
+        assert row["vsnoop_migrating"] > row["vsnoop_pinned"], app
+        # ...much more than it hurts the address-keyed baseline.
+        vsnoop_hit = row["vsnoop_migrating"] - row["vsnoop_pinned"]
+        region_hit = row["regionscout_migrating"] - row["regionscout_pinned"]
+        assert region_hit < vsnoop_hit, app

@@ -1,0 +1,27 @@
+"""Benchmark (extension): clustered scheduling — the paper's future work.
+
+Not a paper figure: quantifies the middle ground between pinning and
+full migration that Section III proposes exploring.
+"""
+
+from conftest import emit
+from repro.experiments import ext_clustered
+
+
+def test_ext_clustered_scheduling(benchmark):
+    results = benchmark.pedantic(
+        lambda: ext_clustered.run(), rounds=1, iterations=1
+    )
+    emit(ext_clustered.format_result(results))
+    for app, by_policy in results.items():
+        pinned = by_policy["pinned"]["wall_ms"]
+        clustered = by_policy["clustered"]["wall_ms"]
+        credit = by_policy["credit"]["wall_ms"]
+        # Clustered recovers most of full migration's throughput...
+        assert clustered <= pinned * 1.02, app
+        assert clustered <= credit * 1.15, app
+        # ...while bounding the snoop domain below the full machine.
+        assert (
+            by_policy["clustered"]["domain_bound_cores"]
+            < by_policy["credit"]["domain_bound_cores"]
+        )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 1 (L2 miss decomposition under Xen)."""
+
+from conftest import emit
+from _shared import fig1_results
+from repro.experiments import fig01_l2_decomposition
+from repro.experiments.common import fast_mode
+
+
+def test_fig01_l2_decomposition(benchmark):
+    results = benchmark.pedantic(fig1_results, rounds=1, iterations=1)
+    emit(fig01_l2_decomposition.format_result(results))
+    for app, row in results.items():
+        # Paper: hypervisor + dom0 always below 20% of L2 misses.
+        assert row["dom0"] + row["xen"] < 20.0, app
+        assert row["guest"] > 80.0, app
+    if not fast_mode():
+        # I/O-heavy server workloads sit clearly above compute-bound apps.
+        assert results["oltp"]["dom0"] + results["oltp"]["xen"] > 8.0
+        assert results["specweb"]["dom0"] + results["specweb"]["xen"] > 10.0
+        assert results["blackscholes"]["dom0"] + results["blackscholes"]["xen"] < 5.0

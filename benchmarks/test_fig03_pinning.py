@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (pinning vs migration execution time)."""
+
+from conftest import emit
+from _shared import sched_results
+from repro.experiments import sched_study
+from repro.experiments.common import fast_mode
+
+
+def test_fig03_pinning(benchmark):
+    results = benchmark.pedantic(sched_results, rounds=1, iterations=1)
+    emit(sched_study.format_figure3(results))
+    over_norms = [r["over"]["pinned_norm_pct"] for r in results.values()]
+    under_norms = [r["under"]["pinned_norm_pct"] for r in results.values()]
+    # Paper shape (b): overcommitted, migration wins clearly on average.
+    assert sum(over_norms) / len(over_norms) > 108.0
+    # Paper shape (a): undercommitted, pinning is as good or better.
+    assert sum(under_norms) / len(under_norms) < 103.0
+    if not fast_mode():
+        # Every app prefers migration when overcommitted.
+        assert min(over_norms) > 100.0

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 7 (snoops, 5 / 2.5 ms migrations)."""
+
+from conftest import emit
+from _shared import migration_results_slow
+from repro.core.filter import SnoopPolicy
+from repro.experiments import migration_study
+
+BASE = SnoopPolicy.VSNOOP_BASE.value
+COUNTER = SnoopPolicy.VSNOOP_COUNTER.value
+THRESHOLD = SnoopPolicy.VSNOOP_COUNTER_THRESHOLD.value
+
+
+def test_fig07_snoops_slow_migration(benchmark):
+    results = benchmark.pedantic(migration_results_slow, rounds=1, iterations=1)
+    emit(
+        migration_study.format_figures(
+            results, migration_study.FIG7_PERIODS_MS, "Figure 7: 5/2.5ms migrations"
+        )
+    )
+    counter_norms = [
+        results[app][period][COUNTER]["snoops_norm_pct"]
+        for app in results
+        for period in migration_study.FIG7_PERIODS_MS
+    ]
+    average = sum(counter_norms) / len(counter_norms)
+    # Paper: with slow migrations the counter mechanism stays close to
+    # the ideal 25% of TokenB snoops.
+    assert average < 36.0
+    # base never beats counter (it keeps every old core in the map).
+    for app in results:
+        for period in migration_study.FIG7_PERIODS_MS:
+            row = results[app][period]
+            assert (
+                row[COUNTER]["snoops_norm_pct"]
+                <= row[BASE]["snoops_norm_pct"] + 1.0
+            ), (app, period)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table I (average VM relocation periods)."""
+
+from conftest import emit
+from _shared import sched_results
+from repro.experiments import sched_study
+from repro.experiments.common import fast_mode
+
+
+def _finite(values):
+    return [v for v in values if v != float("inf")]
+
+
+def test_tab01_relocation_periods(benchmark):
+    results = benchmark.pedantic(sched_results, rounds=1, iterations=1)
+    emit(sched_study.format_table1(results))
+    under = _finite(r["under"]["relocation_period_ms"] for r in results.values())
+    over = _finite(r["over"]["relocation_period_ms"] for r in results.values())
+    assert under and over
+    if not fast_mode():
+        # Paper shape: relocation is much more frequent when overcommitted
+        # (their averages: 629 ms under vs 178 ms over).
+        assert sum(over) / len(over) < sum(under) / len(under)
+        # Pipeline apps migrate every few ms; compute-bound apps rarely.
+        assert results["dedup"]["under"]["relocation_period_ms"] < 30.0
+        assert results["blackscholes"]["under"]["relocation_period_ms"] > 100.0
+        assert results["swaptions"]["under"]["relocation_period_ms"] > 100.0

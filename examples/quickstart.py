@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: how much snooping does virtual snooping remove?
+
+Builds the paper's simulated system (16 in-order cores, private 32 KB L1
++ 256 KB L2, token coherence over a 4x4 mesh; four VMs of four vCPUs,
+each running the same application), runs it once under broadcasting
+TokenB and once under virtual snooping, and reports snoops, network
+traffic and execution time.
+
+Run:  python examples/quickstart.py [app]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.core import SnoopPolicy
+from repro.sim import SimConfig, build_system, run_simulation
+from repro.workloads import COHERENCE_APPS, get_profile
+
+
+def run_policy(app: str, policy: SnoopPolicy):
+    config = SimConfig(
+        snoop_policy=policy,
+        accesses_per_vcpu=10_000,
+        warmup_accesses_per_vcpu=6_000,
+    )
+    system = build_system(config, get_profile(app))
+    run_simulation(system)
+    return system.stats
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "fft"
+    if app not in COHERENCE_APPS:
+        raise SystemExit(f"pick one of: {', '.join(COHERENCE_APPS)}")
+    print(f"Simulating {app!r} in 4 VMs x 4 vCPUs on 16 cores...\n")
+    base = run_policy(app, SnoopPolicy.BROADCAST)
+    vsnoop = run_policy(app, SnoopPolicy.VSNOOP_BASE)
+
+    rows = [
+        ("snoop tag lookups", base.total_snoops, vsnoop.total_snoops,
+         f"{100 * (1 - vsnoop.total_snoops / base.total_snoops):.1f}%"),
+        ("network bytes", base.network_bytes, vsnoop.network_bytes,
+         f"{100 * (1 - vsnoop.network_bytes / base.network_bytes):.1f}%"),
+        ("execution cycles", base.execution_cycles, vsnoop.execution_cycles,
+         f"{100 * (1 - vsnoop.execution_cycles / base.execution_cycles):.1f}%"),
+        ("coherence transactions", base.total_transactions,
+         vsnoop.total_transactions, "-"),
+    ]
+    print(render_table(
+        ["metric", "TokenB (broadcast)", "virtual snooping", "reduction"],
+        rows,
+    ))
+    print(
+        "\nWith 4 VMs pinned to 4 cores each, a VM-private request snoops"
+        "\n4 of 16 cores: the ideal 75% snoop reduction the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

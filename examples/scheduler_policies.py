@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scheduler policies: why the hypervisor migrates vCPUs at all.
+
+Virtual snooping would be trivial if vCPUs were pinned one-to-one — but
+pinning wastes cores when VMs are overcommitted. This example runs the
+Xen-style credit scheduler model (Section III of the paper) on an 8-core
+host and compares 'no migration' (pinned) against 'full migration'
+(credit with global load balancing), undercommitted (2 VMs x 4 vCPUs)
+and overcommitted (4 VMs x 4 vCPUs).
+
+Run:  python examples/scheduler_policies.py [app]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.hypervisor.scheduler import CreditSchedulerSim, SchedulerConfig
+from repro.workloads import PARSEC_APPS, get_profile
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "dedup"
+    if app not in PARSEC_APPS:
+        raise SystemExit(f"pick one of: {', '.join(PARSEC_APPS)}")
+    profile = get_profile(app)
+    print(f"Scheduling 4-vCPU VMs running {app!r} on an 8-core host...\n")
+    rows = []
+    for label, num_vms in (("undercommitted (2 VMs)", 2), ("overcommitted (4 VMs)", 4)):
+        results = {}
+        for policy in ("pinned", "credit"):
+            sim = CreditSchedulerSim(
+                SchedulerConfig(policy=policy, seed=7), profile, num_vms=num_vms
+            )
+            results[policy] = sim.run()
+        pinned, credit = results["pinned"], results["credit"]
+        period = credit.relocation_period_ms
+        rows.append((
+            label,
+            f"{pinned.wall_ms:.0f}",
+            f"{credit.wall_ms:.0f}",
+            f"{100 * pinned.wall_ms / credit.wall_ms:.0f}%",
+            "-" if period == float("inf") else f"{period:.1f}",
+            str(credit.guest_migrations),
+        ))
+    print(render_table(
+        ["host state", "pinned (ms)", "credit (ms)", "pinned vs credit",
+         "relocation period (ms)", "migrations"],
+        rows,
+    ))
+    print(
+        "\nPinning wins (or ties) undercommitted — migrated vCPUs pay a"
+        "\ncold-cache penalty — but loses overcommitted, where idle-core"
+        "\nstealing keeps the host busy. Virtual snooping must therefore"
+        "\ntolerate the migration churn the credit scheduler produces."
+    )
+
+
+if __name__ == "__main__":
+    main()

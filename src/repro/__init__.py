@@ -1,0 +1,18 @@
+"""Virtual Snooping — reproduction of Kim, Kim & Huh, MICRO 2010.
+
+A trace-driven simulation library for studying snoop filtering in
+virtualized multi-cores: a token-coherence CMP substrate (caches, mesh
+interconnect, TokenB protocol), a hypervisor substrate (VM scheduling,
+memory virtualization, content-based page sharing), and the virtual
+snooping filter itself (vCPU maps, residence counters, content-shared
+request policies).
+
+Typical entry points:
+
+* :class:`repro.sim.SimConfig` / :func:`repro.sim.build_system` /
+  :class:`repro.sim.SimulationEngine` — run a full coherence simulation.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.workloads` — the application profile catalogue.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""Analysis helpers: closed-form models and text rendering."""
+
+from repro.analysis.potential import (
+    HYPERVISOR_RATIOS,
+    VM_COUNTS,
+    figure2_series,
+    potential_snoop_reduction,
+)
+from repro.analysis.tables import render_bars, render_table
+
+__all__ = [
+    "HYPERVISOR_RATIOS",
+    "VM_COUNTS",
+    "figure2_series",
+    "potential_snoop_reduction",
+    "render_bars",
+    "render_table",
+]

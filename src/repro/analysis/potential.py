@@ -1,0 +1,55 @@
+"""Closed-form potential-reduction model (Figure 2).
+
+With ``v`` VMs of ``c`` vCPUs each on ``n = v*c`` physical cores, no
+migration and no content sharing, a VM-private transaction snoops ``c``
+of ``n`` cores while hypervisor transactions (ratio ``h`` of the total)
+must broadcast to all ``n``. The expected snoop reduction relative to a
+full-broadcast protocol is therefore::
+
+    reduction(v, c, h) = (1 - h) * (1 - c / n)
+
+The paper's Figure 2 sweeps v in {2,4,8,16} (c = 4) for h in
+{0, 5%, 10%, 20%, 30%, 40%}: the ideal 16-VM configuration reduces
+93.75 % of snoops; with 5-10 % hypervisor misses it still reduces 84-89 %.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+HYPERVISOR_RATIOS = (0.0, 0.05, 0.10, 0.20, 0.30, 0.40)
+VM_COUNTS = (2, 4, 8, 16)
+
+
+def potential_snoop_reduction(
+    num_vms: int, vcpus_per_vm: int, hypervisor_ratio: float
+) -> float:
+    """Fraction of snoops removed by ideal virtual snooping.
+
+    Args:
+        num_vms: number of VMs (each gets its own snoop domain).
+        vcpus_per_vm: vCPUs per VM == cores per snoop domain.
+        hypervisor_ratio: fraction of coherence transactions issued by
+            the hypervisor/dom0, which must broadcast.
+    """
+    if num_vms < 1 or vcpus_per_vm < 1:
+        raise ValueError("num_vms and vcpus_per_vm must be >= 1")
+    if not 0.0 <= hypervisor_ratio <= 1.0:
+        raise ValueError(f"hypervisor_ratio {hypervisor_ratio} not in [0,1]")
+    total_cores = num_vms * vcpus_per_vm
+    return (1.0 - hypervisor_ratio) * (1.0 - vcpus_per_vm / total_cores)
+
+
+def figure2_series(
+    vm_counts: Sequence[int] = VM_COUNTS,
+    vcpus_per_vm: int = 4,
+    hypervisor_ratios: Sequence[float] = HYPERVISOR_RATIOS,
+) -> Dict[float, List[float]]:
+    """The Figure 2 curves: ratio -> reductions per VM count (percent)."""
+    return {
+        ratio: [
+            100.0 * potential_snoop_reduction(vms, vcpus_per_vm, ratio)
+            for vms in vm_counts
+        ]
+        for ratio in hypervisor_ratios
+    }

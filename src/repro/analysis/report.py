@@ -1,0 +1,114 @@
+"""Markdown report generation: paper-vs-measured comparisons.
+
+Renders experiment-driver results side by side with the paper's reported
+values (:mod:`repro.analysis.paper`) as Markdown tables — the format
+EXPERIMENTS.md uses. Each renderer takes the corresponding driver's
+``run()`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis import paper
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A GitHub-flavoured Markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(str(c) for c in cells) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fig1_report(results: Dict[str, Dict[str, float]]) -> str:
+    """Figure 1: measured hyp+dom0 miss shares vs the paper's."""
+    rows: List[List[str]] = []
+    for app, row in results.items():
+        measured = row["dom0"] + row["xen"]
+        reference = paper.FIG1_HYP_DOM0_SHARE_PCT.get(app)
+        reference_text = (
+            f"{reference:.0f}" if reference is not None
+            else f"< {paper.FIG1_DEFAULT_BOUND_PCT:.0f}"
+        )
+        rows.append([app, reference_text, _fmt(measured)])
+    return markdown_table(["workload", "paper (%)", "measured (%)"], rows)
+
+
+def table1_report(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Table I: relocation periods, paper vs measured."""
+    rows: List[List[str]] = []
+    for app, row in results.items():
+        reference = paper.TABLE1_RELOCATION_MS.get(app)
+        rows.append([
+            app,
+            f"{reference[0]:.1f} / {reference[1]:.1f}" if reference else "-",
+            f"{_fmt(row['under']['relocation_period_ms'])} / "
+            f"{_fmt(row['over']['relocation_period_ms'])}",
+        ])
+    return markdown_table(
+        ["workload", "paper under/over (ms)", "measured under/over (ms)"], rows
+    )
+
+
+def table4_report(results: Dict[str, Dict[str, float]]) -> str:
+    rows = [
+        [
+            app,
+            _fmt(paper.TABLE4_TRAFFIC_REDUCTION_PCT.get(app, float("nan")), 2),
+            _fmt(row["traffic_reduction_pct"], 2),
+        ]
+        for app, row in results.items()
+    ]
+    return markdown_table(["workload", "paper (%)", "measured (%)"], rows)
+
+
+def table5_report(results: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for app, row in results.items():
+        reference = paper.TABLE5_CONTENT_SHARES_PCT.get(app)
+        rows.append([
+            app,
+            f"{reference[0]:.2f} / {reference[1]:.2f}" if reference else "-",
+            f"{row['l1_access_pct']:.2f} / {row['l2_miss_pct']:.2f}",
+        ])
+    return markdown_table(
+        ["workload", "paper access/miss (%)", "measured access/miss (%)"], rows
+    )
+
+
+def table6_report(results: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for app, row in results.items():
+        reference = paper.TABLE6_HOLDERS_PCT.get(app)
+        if reference is None:
+            continue
+        rows.append([
+            app,
+            f"{reference['cache_all']:.1f} / {reference['memory']:.1f}",
+            f"{row['holder_cache_pct']:.1f} / {row['holder_memory_pct']:.1f}",
+            f"{reference['intra']:.1f}+{reference['friend']:.1f}",
+            f"{row['holder_intra_pct']:.1f}+{row['holder_friend_pct']:.1f}",
+        ])
+    return markdown_table(
+        [
+            "workload",
+            "paper cache/memory (%)",
+            "measured cache/memory (%)",
+            "paper intra+friend (%)",
+            "measured intra+friend (%)",
+        ],
+        rows,
+    )

@@ -1,0 +1,11 @@
+"""Comparison baselines: alternative snoop-filtering schemes.
+
+Virtual snooping's related work filters snoops with per-core hardware
+tables over coarse memory regions instead of VM boundaries. This package
+implements the closest such scheme, RegionScout, so the trade-off the
+paper argues (no tables, but migration sensitivity) can be measured.
+"""
+
+from repro.baselines.regionscout import RegionScoutFilter, RegionTracker
+
+__all__ = ["RegionScoutFilter", "RegionTracker"]

@@ -1,0 +1,192 @@
+"""RegionScout (Moshovos, ISCA 2005) — a region-based snoop filter.
+
+The closest prior art the paper compares against conceptually: instead
+of VM boundaries, RegionScout filters on coarse-grained *regions* of
+memory (here one 4 KiB page = 64 blocks by default). Two per-core
+structures do the work:
+
+* **CRH** (Cached Region Hash) — a small counting hash summarising which
+  regions the core caches. No false negatives: if the CRH says "absent",
+  the core provably holds no block of the region, so it need not be
+  snooped. Hash collisions cause false positives (extra snoops), which
+  is the capacity/energy trade-off of the original design.
+* **NSRT** (Not-Shared Region Table) — regions a previous miss found to
+  be globally un-shared. A hit lets the requester skip snooping entirely
+  and go straight to memory.
+
+An NSRT entry is conservatively validated against the global region
+sharer map at use time — modelling the snoop-driven invalidation the
+real design performs when another node requests the region.
+
+Unlike virtual snooping, RegionScout needs per-core hardware tables but
+is oblivious to VM migration — the comparison experiment
+(:mod:`repro.experiments.baseline_comparison`) shows exactly that
+trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.cache.line import CacheLine
+from repro.cache.setassoc import CacheObserver
+from repro.coherence.plan import RequestPlan
+from repro.hypervisor.hypervisor import PlacementListener
+from repro.mem.pagetype import PageType
+
+DEFAULT_REGION_BLOCKS = 64  # one 4 KiB page of 64 B blocks
+DEFAULT_CRH_BUCKETS = 256
+DEFAULT_NSRT_ENTRIES = 32
+
+
+class RegionTracker(CacheObserver):
+    """Per-core region occupancy: exact counts plus the CRH summary."""
+
+    def __init__(self, region_bits: int, crh_buckets: int) -> None:
+        self.region_bits = region_bits
+        self.crh_buckets = crh_buckets
+        self._region_counts: Dict[int, int] = {}
+        self._crh = [0] * crh_buckets
+
+    def _region_of(self, block: int) -> int:
+        return block >> self.region_bits
+
+    def _bucket(self, region: int) -> int:
+        # Multiplicative hashing spreads sequential regions across buckets.
+        return (region * 2654435761) % self.crh_buckets
+
+    def on_insert(self, line: CacheLine) -> None:
+        region = self._region_of(line.block)
+        count = self._region_counts.get(region, 0)
+        if count == 0:
+            self._crh[self._bucket(region)] += 1
+        self._region_counts[region] = count + 1
+
+    def on_evict(self, line: CacheLine) -> None:
+        self._remove(line)
+
+    def on_invalidate(self, line: CacheLine) -> None:
+        self._remove(line)
+
+    def _remove(self, line: CacheLine) -> None:
+        region = self._region_of(line.block)
+        count = self._region_counts.get(region, 0)
+        if count <= 0:
+            raise RuntimeError(f"region counter underflow for region {region:#x}")
+        if count == 1:
+            del self._region_counts[region]
+            self._crh[self._bucket(region)] -= 1
+        else:
+            self._region_counts[region] = count - 1
+
+    def caches_region(self, region: int) -> bool:
+        """Exact occupancy (ground truth, used for NSRT validation)."""
+        return region in self._region_counts
+
+    def crh_possibly_present(self, region: int) -> bool:
+        """CRH answer: may return true for absent regions (collisions),
+        never false for present ones."""
+        return self._crh[self._bucket(region)] > 0
+
+
+class RegionScoutFilter(PlacementListener):
+    """Drop-in alternative to :class:`VirtualSnoopFilter`.
+
+    Produces a :class:`RequestPlan` per transaction from the CRH/NSRT
+    state. Filtering is safe by construction: a core excluded from the
+    destination set provably caches no block of the region, so it can
+    hold no tokens for the requested block.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        region_blocks: int = DEFAULT_REGION_BLOCKS,
+        crh_buckets: int = DEFAULT_CRH_BUCKETS,
+        nsrt_entries: int = DEFAULT_NSRT_ENTRIES,
+    ) -> None:
+        if region_blocks <= 0 or (region_blocks & (region_blocks - 1)) != 0:
+            raise ValueError(f"region_blocks must be a power of two, got {region_blocks}")
+        self.num_cores = num_cores
+        self.region_bits = region_blocks.bit_length() - 1
+        self.all_cores: FrozenSet[int] = frozenset(range(num_cores))
+        self.trackers: Dict[int, RegionTracker] = {
+            core: RegionTracker(self.region_bits, crh_buckets)
+            for core in range(num_cores)
+        }
+        self.nsrt_entries = nsrt_entries
+        self._nsrt: Dict[int, "OrderedDict[int, None]"] = {
+            core: OrderedDict() for core in range(num_cores)
+        }
+        # Statistics about the filter's own behaviour.
+        self.nsrt_hits = 0
+        self.crh_filtered_cores = 0
+        self.false_positive_cores = 0
+
+    # ------------------------------------------------------------------
+    # Plan construction (same contract as VirtualSnoopFilter.plan).
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        core: int,
+        vm_id: int,
+        page_type: PageType,
+        block: Optional[int] = None,
+    ) -> RequestPlan:
+        if block is None:
+            return RequestPlan.broadcast(self.all_cores, page_type)
+        region = block >> self.region_bits
+        if self._nsrt_valid(core, region):
+            self.nsrt_hits += 1
+            return RequestPlan(attempts=(frozenset((core,)),), page_type=page_type)
+        destinations: Set[int] = {core}
+        for other in range(self.num_cores):
+            if other == core:
+                continue
+            tracker = self.trackers[other]
+            if tracker.crh_possibly_present(region):
+                destinations.add(other)
+                if not tracker.caches_region(region):
+                    self.false_positive_cores += 1
+            else:
+                self.crh_filtered_cores += 1
+        return RequestPlan(attempts=(frozenset(destinations),), page_type=page_type)
+
+    def observe_outcome(self, core: int, block: int) -> None:
+        """Post-transaction NSRT learning: if no other core holds the
+        region, remember it as not-shared."""
+        region = block >> self.region_bits
+        if self._region_shared_elsewhere(core, region):
+            return
+        nsrt = self._nsrt[core]
+        nsrt[region] = None
+        nsrt.move_to_end(region)
+        while len(nsrt) > self.nsrt_entries:
+            nsrt.popitem(last=False)
+
+    def _region_shared_elsewhere(self, core: int, region: int) -> bool:
+        return any(
+            other != core and tracker.caches_region(region)
+            for other, tracker in self.trackers.items()
+        )
+
+    def _nsrt_valid(self, core: int, region: int) -> bool:
+        if region not in self._nsrt[core]:
+            return False
+        # Snoop-driven invalidation: another node acquired the region.
+        if self._region_shared_elsewhere(core, region):
+            del self._nsrt[core][region]
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # PlacementListener interface — RegionScout ignores VM events.
+    # ------------------------------------------------------------------
+
+    def on_vcpu_placed(self, vm_id: int, core: int) -> None:
+        pass
+
+    def on_vcpu_displaced(self, vm_id: int, core: int) -> None:
+        pass

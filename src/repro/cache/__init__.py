@@ -1,0 +1,13 @@
+"""Cache substrate: lines, set-associative arrays, per-core hierarchies."""
+
+from repro.cache.hierarchy import AccessResult, PrivateHierarchy
+from repro.cache.line import CacheLine
+from repro.cache.setassoc import CacheObserver, SetAssociativeCache
+
+__all__ = [
+    "AccessResult",
+    "CacheLine",
+    "CacheObserver",
+    "PrivateHierarchy",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,34 @@
+"""Cache line metadata.
+
+Virtual snooping extends each cache tag with the **VM identifier** of the
+VM that brought the block in (Section IV-B of the paper): the per-VM cache
+residence counters are maintained from these tags. The line also carries a
+dirty bit so evictions know whether to write back.
+
+Coherence *state* (tokens, ownership, sharers) is deliberately not stored
+here — the token registry in :mod:`repro.coherence` is the single source
+of truth for protocol state, and caches only track residence/recency.
+"""
+
+from __future__ import annotations
+
+
+class CacheLine:
+    """One resident cache block.
+
+    Attributes:
+        block: global block number (see :class:`repro.mem.AddressLayout`).
+        vm_id: identifier of the VM whose access allocated the line.
+        dirty: whether the local copy has been modified.
+    """
+
+    __slots__ = ("block", "vm_id", "dirty")
+
+    def __init__(self, block: int, vm_id: int, dirty: bool = False) -> None:
+        self.block = block
+        self.vm_id = vm_id
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        flag = "D" if self.dirty else "C"
+        return f"CacheLine(block={self.block:#x}, vm={self.vm_id}, {flag})"

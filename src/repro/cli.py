@@ -1,0 +1,186 @@
+"""Command-line interface: ``repro-sim``.
+
+Subcommands:
+
+* ``list-apps`` — the application profile catalogue.
+* ``run`` — one coherence simulation, with policy/migration knobs.
+* ``experiment`` — regenerate a paper table/figure by name.
+* ``record-trace`` — capture a synthetic workload to a trace file.
+
+Examples::
+
+    repro-sim run --app fft --policy counter --migration-ms 2.5
+    repro-sim experiment fig2
+    repro-sim record-trace --app canneal --out canneal.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import render_table
+from repro.core.filter import ContentPolicy, SnoopPolicy
+from repro.workloads import PROFILES, get_profile
+
+EXPERIMENTS = {
+    "fig1": ("repro.experiments.fig01_l2_decomposition", "Figure 1"),
+    "fig2": ("repro.experiments.fig02_potential", "Figure 2"),
+    "fig3": ("repro.experiments.sched_study", "Figure 3 + Table I"),
+    "tab1": ("repro.experiments.sched_study", "Figure 3 + Table I"),
+    "tab4": ("repro.experiments.pinned_study", "Table IV + Figure 6"),
+    "fig6": ("repro.experiments.pinned_study", "Table IV + Figure 6"),
+    "fig7": ("repro.experiments.migration_study", "Figures 7-9"),
+    "fig8": ("repro.experiments.migration_study", "Figures 7-9"),
+    "fig9": ("repro.experiments.migration_study", "Figures 7-9"),
+    "tab5": ("repro.experiments.content_study", "Tables V-VI + Figure 10"),
+    "tab6": ("repro.experiments.content_study", "Tables V-VI + Figure 10"),
+    "fig10": ("repro.experiments.content_study", "Tables V-VI + Figure 10"),
+    "clustered": ("repro.experiments.ext_clustered", "Extension: clustered scheduling"),
+    "regionscout": ("repro.experiments.baseline_comparison", "Extension: RegionScout"),
+}
+
+_POLICY_NAMES = {policy.value: policy for policy in SnoopPolicy}
+_CONTENT_NAMES = {policy.value: policy for policy in ContentPolicy}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Virtual Snooping (MICRO 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the application profile catalogue")
+
+    run = sub.add_parser("run", help="run one coherence simulation")
+    run.add_argument("--app", default="fft", help="application profile name")
+    run.add_argument(
+        "--policy",
+        default=SnoopPolicy.VSNOOP_BASE.value,
+        choices=sorted(_POLICY_NAMES),
+        help="snoop filter policy",
+    )
+    run.add_argument(
+        "--content-policy",
+        default=ContentPolicy.BROADCAST.value,
+        choices=sorted(_CONTENT_NAMES),
+        help="policy for content-shared (RO) pages",
+    )
+    run.add_argument("--filter", default="vsnoop", choices=("vsnoop", "regionscout"))
+    run.add_argument("--migration-ms", type=float, default=None,
+                     help="vCPU shuffle period in (scaled) milliseconds")
+    run.add_argument("--content-sharing", action="store_true",
+                     help="enable the content-based page sharing scan")
+    run.add_argument("--hypervisor", action="store_true",
+                     help="enable hypervisor/dom0 activity")
+    run.add_argument("--accesses", type=int, default=10_000,
+                     help="measured accesses per vCPU")
+    run.add_argument("--warmup", type=int, default=6_000,
+                     help="warm-up accesses per vCPU")
+    run.add_argument("--seed", type=int, default=42)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS), metavar="name",
+                            help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+
+    record = sub.add_parser("record-trace", help="capture a synthetic trace")
+    record.add_argument("--app", default="fft")
+    record.add_argument("--out", required=True, help="output trace file")
+    record.add_argument("--accesses", type=int, default=10_000,
+                        help="accesses per vCPU to record")
+    record.add_argument("--vm-id", type=int, default=1)
+    record.add_argument("--vcpus", type=int, default=4)
+    record.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def cmd_list_apps() -> int:
+    rows = [
+        (
+            name,
+            profile.suite,
+            f"{profile.miss_rate:.3f}",
+            f"{100 * profile.content_access_fraction:.1f}%",
+            f"{100 * profile.hyp_dom0_miss_share:.1f}%",
+        )
+        for name, profile in sorted(PROFILES.items())
+    ]
+    print(render_table(
+        ["application", "suite", "miss rate", "content accesses", "hyp+dom0 misses"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim import SimConfig, build_system, run_simulation
+
+    config = SimConfig(
+        filter_kind=args.filter,
+        snoop_policy=_POLICY_NAMES[args.policy],
+        content_policy=_CONTENT_NAMES[args.content_policy],
+        migration_period_ms=args.migration_ms,
+        content_sharing_enabled=args.content_sharing,
+        hypervisor_activity_enabled=args.hypervisor,
+        accesses_per_vcpu=args.accesses,
+        warmup_accesses_per_vcpu=args.warmup,
+        seed=args.seed,
+    )
+    system = build_system(config, get_profile(args.app))
+    run_simulation(system)
+    stats = system.stats
+    broadcast_snoops = config.num_cores * stats.total_transactions
+    rows = [
+        ("accesses", stats.l1_accesses),
+        ("coherence transactions", stats.total_transactions),
+        ("miss rate", f"{stats.miss_rate():.4f}"),
+        ("snoops", stats.total_snoops),
+        ("snoops vs broadcast", f"{100 * stats.total_snoops / max(broadcast_snoops, 1):.1f}%"),
+        ("network bytes", stats.network_bytes),
+        ("execution cycles", stats.execution_cycles),
+        ("migrations", stats.migrations),
+        ("cow events", stats.cow_events),
+    ]
+    print(render_table(["metric", "value"], rows, title=f"{args.app} / {args.policy}"))
+    return 0
+
+
+def cmd_experiment(name: str) -> int:
+    module_name, _ = EXPERIMENTS[name]
+    import importlib
+
+    module = importlib.import_module(module_name)
+    module.main()
+    return 0
+
+
+def cmd_record_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.generator import VmWorkload
+    from repro.workloads.tracefile import record_workload, save_trace
+
+    workload = VmWorkload(
+        get_profile(args.app), args.vm_id, args.vcpus, seed=args.seed
+    )
+    captured = record_workload(workload, args.accesses)
+    count = save_trace(args.out, captured)
+    print(f"wrote {count} accesses to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return cmd_list_apps()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args.name)
+    if args.command == "record-trace":
+        return cmd_record_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

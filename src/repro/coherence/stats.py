@@ -1,0 +1,83 @@
+"""Protocol-level statistics.
+
+Counters accumulated by the protocol engine, keyed the way the paper
+reports them: snoops (cache tag lookups caused by coherence requests),
+transactions by request and page type, retry/persistent escalations,
+data-source decomposition, and the data-holder decomposition of L2
+misses on content-shared pages (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.mem.pagetype import PageType
+
+
+@dataclass
+class CoherenceStats:
+    """Cumulative protocol counters for one simulation."""
+
+    snoops: int = 0
+    transactions: int = 0
+    gets_count: int = 0
+    getm_count: int = 0
+    retries: int = 0
+    persistent_requests: int = 0
+    cache_to_cache: int = 0
+    memory_sourced: int = 0
+    upgrades: int = 0
+    invalidations: int = 0
+    transactions_by_page_type: Dict[PageType, int] = field(
+        default_factory=lambda: {t: 0 for t in PageType}
+    )
+    snoops_by_page_type: Dict[PageType, int] = field(
+        default_factory=lambda: {t: 0 for t in PageType}
+    )
+    # Data-holder decomposition for content-shared misses (Table VI).
+    ro_misses: int = 0
+    ro_holder_any_cache: int = 0
+    ro_holder_intra_vm: int = 0
+    ro_holder_friend_vm: int = 0
+    ro_holder_memory_only: int = 0
+    # Actual source decomposition for content-shared misses.
+    ro_served_by_cache: int = 0
+    ro_served_by_memory: int = 0
+
+    def record_transaction(self, page_type: PageType, is_write: bool) -> None:
+        self.transactions += 1
+        self.transactions_by_page_type[page_type] += 1
+        if is_write:
+            self.getm_count += 1
+        else:
+            self.gets_count += 1
+
+    def record_snoops(self, count: int, page_type: PageType) -> None:
+        self.snoops += count
+        self.snoops_by_page_type[page_type] += count
+
+    def merge(self, other: "CoherenceStats") -> None:
+        """Accumulate ``other`` into ``self`` (for multi-run aggregation)."""
+        self.snoops += other.snoops
+        self.transactions += other.transactions
+        self.gets_count += other.gets_count
+        self.getm_count += other.getm_count
+        self.retries += other.retries
+        self.persistent_requests += other.persistent_requests
+        self.cache_to_cache += other.cache_to_cache
+        self.memory_sourced += other.memory_sourced
+        self.upgrades += other.upgrades
+        self.invalidations += other.invalidations
+        for page_type in PageType:
+            self.transactions_by_page_type[page_type] += (
+                other.transactions_by_page_type[page_type]
+            )
+            self.snoops_by_page_type[page_type] += other.snoops_by_page_type[page_type]
+        self.ro_misses += other.ro_misses
+        self.ro_holder_any_cache += other.ro_holder_any_cache
+        self.ro_holder_intra_vm += other.ro_holder_intra_vm
+        self.ro_holder_friend_vm += other.ro_holder_friend_vm
+        self.ro_holder_memory_only += other.ro_holder_memory_only
+        self.ro_served_by_cache += other.ro_served_by_cache
+        self.ro_served_by_memory += other.ro_served_by_memory

@@ -1,0 +1,38 @@
+"""Experiment drivers — one module per paper table/figure.
+
+==========  ============================================
+Paper item  Module
+==========  ============================================
+Figure 1    :mod:`repro.experiments.fig01_l2_decomposition`
+Figure 2    :mod:`repro.experiments.fig02_potential`
+Figure 3    :mod:`repro.experiments.sched_study`
+Table I     :mod:`repro.experiments.sched_study`
+Table IV    :mod:`repro.experiments.pinned_study`
+Figure 6    :mod:`repro.experiments.pinned_study`
+Figures 7-9 :mod:`repro.experiments.migration_study`
+Table V/VI  :mod:`repro.experiments.content_study`
+Figure 10   :mod:`repro.experiments.content_study`
+==========  ============================================
+"""
+
+from repro.experiments import (
+    baseline_comparison,
+    content_study,
+    ext_clustered,
+    fig01_l2_decomposition,
+    fig02_potential,
+    migration_study,
+    pinned_study,
+    sched_study,
+)
+
+__all__ = [
+    "baseline_comparison",
+    "content_study",
+    "ext_clustered",
+    "fig01_l2_decomposition",
+    "fig02_potential",
+    "migration_study",
+    "pinned_study",
+    "sched_study",
+]

@@ -1,0 +1,19 @@
+"""Hypervisor substrate: VMs, placement, memory mapping, content sharing."""
+
+from repro.hypervisor.content import ContentSharingService
+from repro.hypervisor.hypervisor import Hypervisor, PlacementListener, RelocationEvent
+from repro.hypervisor.memory import MemoryManager, TranslationFault
+from repro.hypervisor.vm import DOM0_VM_ID, FIRST_GUEST_VM_ID, VCpu, VirtualMachine
+
+__all__ = [
+    "ContentSharingService",
+    "DOM0_VM_ID",
+    "FIRST_GUEST_VM_ID",
+    "Hypervisor",
+    "MemoryManager",
+    "PlacementListener",
+    "RelocationEvent",
+    "TranslationFault",
+    "VCpu",
+    "VirtualMachine",
+]

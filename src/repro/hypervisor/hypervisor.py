@@ -1,0 +1,168 @@
+"""The hypervisor facade used by the coherence simulation.
+
+Owns the VMs, the guest→host memory manager, the content-sharing
+service, and the vCPU→core placement. Architectural components (the
+virtual-snooping filter, the simulation engine) subscribe as listeners
+rather than being imported, keeping the substrate free of dependencies
+on the contribution it hosts:
+
+* ``on_vcpu_placed(vm_id, core)`` — a vCPU was scheduled onto a core
+  (initial placement or migration); the filter grows the VM's vCPU map.
+* ``on_vcpu_displaced(vm_id, core)`` — a vCPU left a core (the core stays
+  in the vCPU map until its residence counter clears it).
+* ``on_page_shared(host_page)`` — a page became RO-shared; cached dirty
+  blocks must be flushed so memory is clean.
+* ``on_cow(vm_id, old_host_page, new_host_page)`` — a store broke RO
+  sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.hypervisor.content import ContentSharingService
+from repro.hypervisor.memory import MemoryManager
+from repro.hypervisor.vm import FIRST_GUEST_VM_ID, VCpu, VirtualMachine
+from repro.mem.pagetype import PageType
+from repro.mem.physical import HostMemory
+
+
+class PlacementListener:
+    """Callback interface for vCPU placement and page-type events."""
+
+    def on_vcpu_placed(self, vm_id: int, core: int) -> None:
+        """A vCPU of ``vm_id`` starts running on ``core``."""
+
+    def on_vcpu_displaced(self, vm_id: int, core: int) -> None:
+        """A vCPU of ``vm_id`` stops running on ``core``."""
+
+    def on_page_shared(self, host_page: int) -> None:
+        """``host_page`` became content-shared (RO)."""
+
+    def on_cow(self, vm_id: int, old_host_page: int, new_host_page: int) -> None:
+        """A store by ``vm_id`` broke RO sharing of ``old_host_page``."""
+
+
+class RelocationEvent:
+    """One vCPU-to-core mapping change, for relocation statistics."""
+
+    __slots__ = ("cycle", "vm_id", "vcpu_index", "old_core", "new_core")
+
+    def __init__(
+        self, cycle: int, vm_id: int, vcpu_index: int, old_core: Optional[int], new_core: int
+    ) -> None:
+        self.cycle = cycle
+        self.vm_id = vm_id
+        self.vcpu_index = vcpu_index
+        self.old_core = old_core
+        self.new_core = new_core
+
+    def __repr__(self) -> str:
+        return (
+            f"RelocationEvent(cycle={self.cycle}, vm={self.vm_id}, "
+            f"vcpu={self.vcpu_index}, {self.old_core}->{self.new_core})"
+        )
+
+
+class Hypervisor:
+    """Bookkeeping hypervisor for the trace-driven coherence simulation."""
+
+    def __init__(self, num_cores: int, host_pages: int = 1 << 20) -> None:
+        self.num_cores = num_cores
+        self.host = HostMemory(host_pages)
+        self.memory = MemoryManager(self.host)
+        self.content = ContentSharingService(self.memory)
+        self.vms: Dict[int, VirtualMachine] = {}
+        self._core_occupant: List[Optional[VCpu]] = [None] * num_cores
+        self._listeners: List[PlacementListener] = []
+        self.relocations: List[RelocationEvent] = []
+        self._next_vm_id = FIRST_GUEST_VM_ID
+
+    # ------------------------------------------------------------------
+    # VM lifecycle.
+    # ------------------------------------------------------------------
+
+    def create_vm(self, num_vcpus: int, name: str = "") -> VirtualMachine:
+        vm = VirtualMachine(self._next_vm_id, num_vcpus, name)
+        self._next_vm_id += 1
+        self.vms[vm.vm_id] = vm
+        self.memory.create_address_space(vm.vm_id)
+        return vm
+
+    def add_listener(self, listener: PlacementListener) -> None:
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # vCPU placement.
+    # ------------------------------------------------------------------
+
+    def occupant_of(self, core: int) -> Optional[VCpu]:
+        return self._core_occupant[core]
+
+    def place_vcpu(self, vcpu: VCpu, core: int, cycle: int = 0) -> None:
+        """Schedule ``vcpu`` onto ``core`` (which must be free)."""
+        if self._core_occupant[core] is not None:
+            raise ValueError(
+                f"core {core} already runs {self._core_occupant[core].global_name}"
+            )
+        old_core = vcpu.core
+        if old_core is not None:
+            self._core_occupant[old_core] = None
+            for listener in self._listeners:
+                listener.on_vcpu_displaced(vcpu.vm_id, old_core)
+        vcpu.core = core
+        self._core_occupant[core] = vcpu
+        self.relocations.append(
+            RelocationEvent(cycle, vcpu.vm_id, vcpu.index, old_core, core)
+        )
+        for listener in self._listeners:
+            listener.on_vcpu_placed(vcpu.vm_id, core)
+
+    def swap_vcpus(self, a: VCpu, b: VCpu, cycle: int = 0) -> None:
+        """Exchange the physical cores of two vCPUs (the paper's migration
+        approximation: 'two vCPUs from different VMs are randomly selected
+        and their physical cores are exchanged')."""
+        core_a, core_b = a.core, b.core
+        if core_a is None or core_b is None:
+            raise ValueError("both vCPUs must be running to swap")
+        self._core_occupant[core_a] = None
+        self._core_occupant[core_b] = None
+        for listener in self._listeners:
+            listener.on_vcpu_displaced(a.vm_id, core_a)
+            listener.on_vcpu_displaced(b.vm_id, core_b)
+        a.core, b.core = core_b, core_a
+        self._core_occupant[core_b] = a
+        self._core_occupant[core_a] = b
+        self.relocations.append(RelocationEvent(cycle, a.vm_id, a.index, core_a, core_b))
+        self.relocations.append(RelocationEvent(cycle, b.vm_id, b.index, core_b, core_a))
+        for listener in self._listeners:
+            listener.on_vcpu_placed(a.vm_id, core_b)
+            listener.on_vcpu_placed(b.vm_id, core_a)
+
+    # ------------------------------------------------------------------
+    # Memory: translation, content sharing, COW.
+    # ------------------------------------------------------------------
+
+    def translate(self, vm_id: int, guest_page: int) -> Tuple[int, PageType]:
+        return self.memory.translate(vm_id, guest_page)
+
+    def share_identical_pages(self) -> List[int]:
+        """Run the content-sharing scan; notify listeners per shared page."""
+        shared = self.content.scan()
+        for host_page in shared:
+            for listener in self._listeners:
+                listener.on_page_shared(host_page)
+        return shared
+
+    def write_to_page(self, vm_id: int, guest_page: int) -> Tuple[int, PageType]:
+        """Resolve a store: transparently applies copy-on-write.
+
+        Returns the (host page, type) the store should proceed against.
+        """
+        host_page, page_type = self.memory.translate(vm_id, guest_page)
+        if page_type is PageType.RO_SHARED:
+            new_host = self.content.handle_write_fault(vm_id, guest_page)
+            for listener in self._listeners:
+                listener.on_cow(vm_id, host_page, new_host)
+            return new_host, PageType.VM_PRIVATE
+        return host_page, page_type

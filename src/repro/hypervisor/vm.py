@@ -1,0 +1,57 @@
+"""Virtual machines and virtual CPUs.
+
+A :class:`VirtualMachine` owns a set of :class:`VCpu` objects. The
+hypervisor schedules vCPUs onto physical cores; in the cache-coherence
+simulation the mapping is one-to-one (16 vCPUs on 16 cores, as in the
+paper's Section V), while the scheduler study (Section III) multiplexes
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+DOM0_VM_ID = 0
+"""Conventional VM id for the privileged I/O domain (domain0 in Xen)."""
+
+FIRST_GUEST_VM_ID = 1
+
+
+class VCpu:
+    """One virtual CPU of a VM."""
+
+    __slots__ = ("vm_id", "index", "core")
+
+    def __init__(self, vm_id: int, index: int) -> None:
+        self.vm_id = vm_id
+        self.index = index
+        self.core: Optional[int] = None  # physical core, None when descheduled
+
+    @property
+    def global_name(self) -> str:
+        return f"vm{self.vm_id}.vcpu{self.index}"
+
+    def __repr__(self) -> str:
+        return f"VCpu({self.global_name}, core={self.core})"
+
+
+class VirtualMachine:
+    """A guest VM: an id, a name, and its vCPUs."""
+
+    def __init__(self, vm_id: int, num_vcpus: int, name: str = "") -> None:
+        if num_vcpus <= 0:
+            raise ValueError(f"num_vcpus must be positive, got {num_vcpus}")
+        self.vm_id = vm_id
+        self.name = name or f"vm{vm_id}"
+        self.vcpus: List[VCpu] = [VCpu(vm_id, i) for i in range(num_vcpus)]
+
+    @property
+    def num_vcpus(self) -> int:
+        return len(self.vcpus)
+
+    def cores_in_use(self) -> List[int]:
+        """Physical cores its vCPUs currently occupy."""
+        return [v.core for v in self.vcpus if v.core is not None]
+
+    def __repr__(self) -> str:
+        return f"VirtualMachine({self.name}, vcpus={self.num_vcpus})"

@@ -1,0 +1,13 @@
+"""Interconnect substrate: mesh topology, XY routing, traffic accounting."""
+
+from repro.interconnect.messages import DEFAULT_SIZING, FlitSizing, MessageKind
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+
+__all__ = [
+    "DEFAULT_SIZING",
+    "FlitSizing",
+    "MeshTopology",
+    "MessageKind",
+    "NetworkModel",
+]

@@ -1,0 +1,47 @@
+"""Network message kinds and flit sizing.
+
+Links are 16 B wide (Table II). A control message (snoop request, token
+return, acknowledgment) carries an 8 B header and fits in one flit. A data
+message carries the 8 B header plus a 64 B cache block: five flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MessageKind(Enum):
+    """Coherence message classes that traverse the network."""
+
+    REQUEST = "request"  # snoop / transient request (control)
+    DATA = "data"  # data response carrying a cache block
+    ACK = "ack"  # token-only or acknowledgment response (control)
+    WRITEBACK = "writeback"  # dirty eviction to memory (data)
+    TOKEN_RETURN = "token_return"  # clean eviction returning tokens (control)
+    VCPU_MAP_UPDATE = "vcpu_map_update"  # vCPU map synchronisation (control)
+    PERSISTENT = "persistent"  # persistent request activation (control)
+
+
+@dataclass(frozen=True)
+class FlitSizing:
+    """Derives flit counts per message kind from link and block widths."""
+
+    link_bytes: int = 16
+    header_bytes: int = 8
+    block_bytes: int = 64
+
+    def flits(self, kind: MessageKind) -> int:
+        """Number of flits a message of ``kind`` occupies."""
+        if kind in (MessageKind.DATA, MessageKind.WRITEBACK):
+            payload = self.header_bytes + self.block_bytes
+        else:
+            payload = self.header_bytes
+        return -(-payload // self.link_bytes)  # ceil division
+
+    def bytes_of(self, kind: MessageKind) -> int:
+        """Link bytes consumed per hop by a message of ``kind``."""
+        return self.flits(kind) * self.link_bytes
+
+
+DEFAULT_SIZING = FlitSizing()

@@ -1,0 +1,87 @@
+"""2D mesh topology.
+
+The paper's simulated system (Table II) uses a 4x4 2D mesh with 16 B links
+and a 4-cycle router pipeline. This module provides the geometry: node
+coordinates, neighbours, and XY (dimension-ordered) routing distances.
+Nodes are numbered row-major: node = y * width + x.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class MeshTopology:
+    """A ``width`` x ``height`` 2D mesh."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"mesh dimensions must be positive, got {width}x{height}")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of ``node``."""
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes} nodes")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance — the XY-routed hop count."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def xy_route(self, src: int, dst: int) -> List[int]:
+        """The XY route from ``src`` to ``dst``, inclusive of endpoints.
+
+        X dimension is traversed first, then Y — deterministic and
+        deadlock-free, as in the Garnet configuration the paper uses.
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        step = 1 if dx > x else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > y else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    def neighbours(self, node: int) -> Iterator[int]:
+        x, y = self.coords(node)
+        if x > 0:
+            yield self.node_at(x - 1, y)
+        if x < self.width - 1:
+            yield self.node_at(x + 1, y)
+        if y > 0:
+            yield self.node_at(x, y - 1)
+        if y < self.height - 1:
+            yield self.node_at(x, y + 1)
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered src != dst pairs."""
+        total = 0
+        pairs = 0
+        for src in range(self.num_nodes):
+            for dst in range(self.num_nodes):
+                if src != dst:
+                    total += self.hops(src, dst)
+                    pairs += 1
+        return total / pairs if pairs else 0.0

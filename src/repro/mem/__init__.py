@@ -1,0 +1,20 @@
+"""Memory substrate: address arithmetic, host page pool, memory controller."""
+
+from repro.mem.address import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_LAYOUT,
+    DEFAULT_PAGE_SIZE,
+    AddressLayout,
+)
+from repro.mem.controller import MemoryController
+from repro.mem.physical import HostMemory, OutOfMemoryError
+
+__all__ = [
+    "AddressLayout",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_LAYOUT",
+    "DEFAULT_PAGE_SIZE",
+    "HostMemory",
+    "MemoryController",
+    "OutOfMemoryError",
+]

@@ -1,0 +1,98 @@
+"""Address arithmetic for the simulated machine.
+
+The simulator works with *host-physical* addresses. Two granularities
+matter:
+
+* **blocks** (cache lines, 64 B by default) — the unit of coherence, and
+* **pages** (4 KiB by default) — the unit of VM memory allocation and of
+  sharing-type classification (VM-private / RW-shared / RO-shared).
+
+All helpers are free functions parameterised by an :class:`AddressLayout`
+so non-default geometries can be tested, plus a module-level default
+layout matching the paper's configuration (64 B blocks, 4 KiB pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_BLOCK_SIZE = 64
+DEFAULT_PAGE_SIZE = 4096
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Geometry of the physical address space.
+
+    Attributes:
+        block_size: cache-line size in bytes (power of two).
+        page_size: page size in bytes (power of two, multiple of block size).
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ValueError(f"block_size must be a power of two, got {self.block_size}")
+        if not _is_power_of_two(self.page_size):
+            raise ValueError(f"page_size must be a power of two, got {self.page_size}")
+        if self.page_size % self.block_size != 0:
+            raise ValueError(
+                f"page_size ({self.page_size}) must be a multiple of "
+                f"block_size ({self.block_size})"
+            )
+
+    @property
+    def block_bits(self) -> int:
+        """Number of byte-offset bits within a block."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def page_bits(self) -> int:
+        """Number of byte-offset bits within a page."""
+        return self.page_size.bit_length() - 1
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr >> self.block_bits
+
+    def page_of(self, addr: int) -> int:
+        """Page number containing byte address ``addr``."""
+        return addr >> self.page_bits
+
+    def page_of_block(self, block: int) -> int:
+        """Page number containing block number ``block``."""
+        return block >> (self.page_bits - self.block_bits)
+
+    def block_in_page(self, page: int, block_index: int) -> int:
+        """Block number of the ``block_index``-th block of ``page``."""
+        if not 0 <= block_index < self.blocks_per_page:
+            raise ValueError(
+                f"block_index {block_index} out of range for "
+                f"{self.blocks_per_page} blocks per page"
+            )
+        return (page << (self.page_bits - self.block_bits)) | block_index
+
+    def block_index_in_page(self, block: int) -> int:
+        """Index of block number ``block`` within its page."""
+        return block & (self.blocks_per_page - 1)
+
+    def addr_of_block(self, block: int) -> int:
+        """First byte address of block number ``block``."""
+        return block << self.block_bits
+
+    def addr_of_page(self, page: int) -> int:
+        """First byte address of page number ``page``."""
+        return page << self.page_bits
+
+
+DEFAULT_LAYOUT = AddressLayout()

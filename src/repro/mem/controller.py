@@ -1,0 +1,55 @@
+"""External memory controller model.
+
+In token coherence, memory both supplies data when no on-chip owner exists
+and absorbs tokens written back on eviction. The paper's evaluation only
+needs a latency and a traffic endpoint for memory, so the model here is a
+fixed-latency controller attached to one mesh node, with counters for the
+three kinds of traffic it sees:
+
+* ``data_reads`` — misses served from memory (no on-chip owner, or a
+  content-shared read routed memory-direct),
+* ``writebacks`` — dirty evictions,
+* ``token_returns`` — clean evictions returning only tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryController:
+    """Fixed-latency memory controller attached to a mesh node.
+
+    Attributes:
+        latency: cycles from request arrival to data availability.
+        node: mesh node index the controller is attached to.
+    """
+
+    latency: int = 80
+    node: int = 0
+    data_reads: int = field(default=0, init=False)
+    writebacks: int = field(default=0, init=False)
+    token_returns: int = field(default=0, init=False)
+
+    def read(self) -> int:
+        """Serve a data read; returns the access latency in cycles."""
+        self.data_reads += 1
+        return self.latency
+
+    def writeback(self) -> None:
+        """Absorb a dirty-line writeback."""
+        self.writebacks += 1
+
+    def return_tokens(self) -> None:
+        """Absorb a clean eviction that only returns tokens."""
+        self.token_returns += 1
+
+    @property
+    def total_accesses(self) -> int:
+        return self.data_reads + self.writebacks + self.token_returns
+
+    def reset(self) -> None:
+        self.data_reads = 0
+        self.writebacks = 0
+        self.token_returns = 0

@@ -1,0 +1,82 @@
+"""Host-physical memory allocator.
+
+The hypervisor substrate allocates host-physical pages from this pool when
+it builds guest-physical to host-physical mappings, when it breaks a
+content-shared page with copy-on-write, and when dom0 or the hypervisor
+itself needs private pages.
+
+The allocator hands out page *numbers*, never raw byte addresses; callers
+convert with :class:`repro.mem.address.AddressLayout` when they need block
+or byte addresses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when the host page pool is exhausted."""
+
+
+class HostMemory:
+    """A fixed-size pool of host-physical pages.
+
+    Pages are identified by integer page numbers ``0 .. num_pages - 1``.
+    Freed pages are recycled in LIFO order, which keeps page numbers dense
+    and reproducible for a given allocation sequence.
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive, got {num_pages}")
+        self._num_pages = num_pages
+        self._next_fresh = 0
+        self._free_list: List[int] = []
+        self._allocated: Set[int] = set()
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def free_count(self) -> int:
+        return self._num_pages - len(self._allocated)
+
+    def allocate(self) -> int:
+        """Allocate one page and return its page number."""
+        if self._free_list:
+            page = self._free_list.pop()
+        elif self._next_fresh < self._num_pages:
+            page = self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise OutOfMemoryError(
+                f"host memory exhausted ({self._num_pages} pages in use)"
+            )
+        self._allocated.add(page)
+        return page
+
+    def allocate_many(self, count: int) -> List[int]:
+        """Allocate ``count`` pages; all-or-nothing."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > self.free_count:
+            raise OutOfMemoryError(
+                f"requested {count} pages but only {self.free_count} free"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, page: int) -> None:
+        """Return ``page`` to the pool."""
+        if page not in self._allocated:
+            raise ValueError(f"page {page} is not allocated")
+        self._allocated.remove(page)
+        self._free_list.append(page)
+
+    def is_allocated(self, page: int) -> bool:
+        return page in self._allocated

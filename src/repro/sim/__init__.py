@@ -1,0 +1,24 @@
+"""Simulation layer: configuration, system builder, engine, statistics."""
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.stats import SimStats
+from repro.sim.system import (
+    HYPERVISOR_SPACE,
+    CoherenceBridge,
+    SimulatedSystem,
+    build_system,
+    compute_friends,
+)
+
+__all__ = [
+    "CoherenceBridge",
+    "HYPERVISOR_SPACE",
+    "SimConfig",
+    "SimStats",
+    "SimulatedSystem",
+    "SimulationEngine",
+    "build_system",
+    "compute_friends",
+    "run_simulation",
+]

@@ -1,0 +1,230 @@
+"""The trace-driven simulation engine.
+
+Quasi-event-driven interleaving: each vCPU carries a local cycle clock;
+the engine always advances the vCPU with the smallest clock, so cores
+stay loosely synchronised without a global event queue. Each step:
+
+1. fire any due migration (the paper's approximation: every period, two
+   random vCPUs of *different* VMs swap physical cores),
+2. generate the vCPU's next access, translate it (COW applies here),
+3. look up the local L1/L2; on a miss — or a store without exclusive
+   tokens — run a coherence transaction under the filter's plan,
+4. fill the caches, handle the replacement victim, advance the clock.
+
+Execution time (Figure 6) is the largest per-vCPU clock at completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import List, Optional, Tuple
+
+
+from repro.core.residence import UNTRACKED_VM
+from repro.hypervisor.vm import DOM0_VM_ID, VCpu
+from repro.mem.pagetype import PageType
+from repro.sim.system import HYPERVISOR_SPACE, SimulatedSystem
+from repro.workloads.trace import Initiator, MemoryAccess
+
+
+class SimulationEngine:
+    """Runs one built :class:`SimulatedSystem` to completion."""
+
+    def __init__(self, system: SimulatedSystem) -> None:
+        self.system = system
+        self.config = system.config
+        self.stats = system.stats
+        self.now = 0
+        self._rng = random.Random(f"engine/{self.config.seed}")
+        self._vcpus: List[VCpu] = [
+            vcpu for vm in system.vms for vcpu in vm.vcpus
+        ]
+        system.snoop_filter.clock = lambda: self.now  # used by vsnoop filters
+        self._observe_outcome = getattr(system.snoop_filter, "observe_outcome", None)
+        period = self.config.migration_period_cycles
+        self._migration_period = period
+        self._next_migration = period if period is not None else None
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        accesses_per_vcpu: Optional[int] = None,
+        warmup_accesses_per_vcpu: Optional[int] = None,
+    ) -> None:
+        """Warm the caches, reset the counters, then measure.
+
+        The warm-up phase fills working sets so cold misses do not drown
+        the steady-state behaviour the paper measures. Migrations only
+        start with the measured phase.
+        """
+        budget = (
+            accesses_per_vcpu
+            if accesses_per_vcpu is not None
+            else self.config.accesses_per_vcpu
+        )
+        warmup = (
+            warmup_accesses_per_vcpu
+            if warmup_accesses_per_vcpu is not None
+            else self.config.warmup_accesses_per_vcpu
+        )
+        clocks = [0] * len(self._vcpus)
+        if warmup > 0:
+            clocks = self._run_phase(clocks, warmup, migrate=False)
+            self._reset_measurements()
+        if self._migration_period is not None:
+            self._next_migration = max(clocks) + self._migration_period
+        start = min(clocks)
+        clocks = self._run_phase(clocks, budget, migrate=True)
+        self.stats.execution_cycles = max(clocks) - start
+        self._finalise()
+
+    def _run_phase(
+        self, clocks: List[int], budget: int, migrate: bool
+    ) -> List[int]:
+        """Advance every vCPU by ``budget`` accesses; returns final clocks."""
+        heap: List[Tuple[int, int, int]] = []
+        remaining = []
+        for index, local_time in enumerate(clocks):
+            heapq.heappush(heap, (local_time, index, index))
+            remaining.append(budget)
+        final = list(clocks)
+        sequence = len(self._vcpus)
+        think = self.config.think_cycles
+        while heap:
+            local_time, _, index = heapq.heappop(heap)
+            self.now = local_time
+            if migrate:
+                self._maybe_migrate()
+            latency = self._step(self._vcpus[index])
+            remaining[index] -= 1
+            next_time = local_time + think + latency
+            if remaining[index] > 0:
+                sequence += 1
+                heapq.heappush(heap, (next_time, sequence, index))
+            else:
+                final[index] = next_time
+        return final
+
+    def _maybe_migrate(self) -> None:
+        if self._next_migration is None or self.now < self._next_migration:
+            return
+        while self.now >= self._next_migration:
+            self._shuffle_two_vcpus()
+            self._next_migration += self._migration_period
+
+    def _shuffle_two_vcpus(self) -> None:
+        """Swap the cores of two random vCPUs from different VMs."""
+        first = self._rng.choice(self._vcpus)
+        others = [v for v in self._vcpus if v.vm_id != first.vm_id]
+        if not others:
+            return
+        second = self._rng.choice(others)
+        self.system.hypervisor.swap_vcpus(first, second, cycle=self.now)
+        self.stats.migrations += 1
+
+    def _reset_measurements(self) -> None:
+        """Zero every measurement counter; architectural state persists."""
+        from repro.sim.stats import SimStats
+
+        fresh = SimStats()
+        self.system.stats = fresh
+        self.system.protocol.stats = fresh.coherence
+        self.stats = fresh
+        self.system.network.reset()
+        self.system.memory_ctrl.reset()
+        for hierarchy in self.system.caches.values():
+            hierarchy.l1_hits = 0
+            hierarchy.l2_hits = 0
+            hierarchy.misses = 0
+        domains = getattr(self.system.snoop_filter, "domains", None)
+        if domains is not None:
+            domains.removal_log.clear()
+        self.system.hypervisor.relocations.clear()
+
+    # ------------------------------------------------------------------
+    # One access.
+    # ------------------------------------------------------------------
+
+    def _step(self, vcpu: VCpu) -> int:
+        system = self.system
+        workload = system.workloads[vcpu.vm_id]
+        access = workload.next_access(vcpu.index)
+        host_page, page_type = self._translate(access)
+        block = system.layout.block_in_page(host_page, access.block_index)
+        core = vcpu.core
+        assert core is not None
+        vm_tag = access.vm_id if access.initiator is Initiator.GUEST else UNTRACKED_VM
+
+        self.stats.l1_accesses += 1
+        self.stats.l1_accesses_by_page_type[page_type] += 1
+
+        hierarchy = system.caches[core]
+        result = hierarchy.access(block, vm_tag, access.is_write)
+        needs_transaction = not result.hit or (
+            access.is_write and not system.registry.write_hit(core, block)
+        )
+        if not needs_transaction:
+            return result.latency
+
+        self.stats.transactions_by_initiator[access.initiator] += 1
+        plan = system.snoop_filter.plan(core, access.vm_id, page_type, block)
+        outcome = system.protocol.execute(
+            core, access.vm_id, block, access.is_write, plan, cycle=self.now
+        )
+        if not result.hit:
+            victim = hierarchy.fill(
+                block, vm_tag, dirty=access.is_write or outcome.fill_dirty
+            )
+            if victim is not None:
+                system.protocol.handle_eviction(core, victim, cycle=self.now)
+        if self._observe_outcome is not None:
+            self._observe_outcome(core, block)
+        return result.latency + outcome.latency
+
+    def _translate(self, access: MemoryAccess) -> Tuple[int, PageType]:
+        """Resolve the access to a host page + sharing type.
+
+        Hypervisor and dom0 accesses go through their own address spaces
+        and are forced RW-shared; guest stores trigger copy-on-write.
+        """
+        memory = self.system.hypervisor.memory
+        if access.initiator is Initiator.HYPERVISOR:
+            return self._rw_shared_translate(HYPERVISOR_SPACE, access.guest_page)
+        if access.initiator is Initiator.DOM0:
+            return self._rw_shared_translate(DOM0_VM_ID, access.guest_page)
+        if access.is_write:
+            return self.system.hypervisor.write_to_page(access.vm_id, access.guest_page)
+        return memory.translate(access.vm_id, access.guest_page)
+
+    def _rw_shared_translate(self, space: int, page: int) -> Tuple[int, PageType]:
+        memory = self.system.hypervisor.memory
+        host_page, page_type = memory.translate(space, page)
+        if page_type is not PageType.RW_SHARED:
+            memory.mark_rw_shared(space, page)
+            page_type = PageType.RW_SHARED
+        return host_page, page_type
+
+    # ------------------------------------------------------------------
+    # Wrap-up.
+    # ------------------------------------------------------------------
+
+    def _finalise(self) -> None:
+        stats = self.stats
+        system = self.system
+        stats.network_bytes = system.network.bytes_transferred
+        stats.network_messages = system.network.messages
+        domains = getattr(system.snoop_filter, "domains", None)
+        if domains is not None:
+            stats.removal_periods_cycles = [
+                record.period for record in domains.removal_log
+            ]
+
+
+def run_simulation(system: SimulatedSystem) -> "SimulatedSystem":
+    """Convenience: run ``system`` to completion and return it."""
+    SimulationEngine(system).run()
+    return system

@@ -1,0 +1,85 @@
+"""Simulation-level statistics.
+
+Aggregates the protocol counters with engine-level measurements: L1
+access / L2 miss decompositions by initiator (Figure 1) and by page type
+(Table V), execution time (Figure 6), traffic (Table IV), migrations and
+vCPU-map removals (Figures 7-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.coherence.stats import CoherenceStats
+from repro.mem.pagetype import PageType
+from repro.workloads.trace import Initiator
+
+
+@dataclass
+class SimStats:
+    """Counters gathered while an engine runs."""
+
+    coherence: CoherenceStats = field(default_factory=CoherenceStats)
+    l1_accesses: int = 0
+    l1_accesses_by_page_type: Dict[PageType, int] = field(
+        default_factory=lambda: {t: 0 for t in PageType}
+    )
+    transactions_by_initiator: Dict[Initiator, int] = field(
+        default_factory=lambda: {i: 0 for i in Initiator}
+    )
+    cow_events: int = 0
+    migrations: int = 0
+    flush_writebacks: int = 0
+    # Filled in at the end of a run.
+    execution_cycles: int = 0
+    network_bytes: int = 0
+    network_messages: int = 0
+    removal_periods_cycles: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived metrics, named after the paper's figures.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_snoops(self) -> int:
+        """Snoop tag lookups over all cores (Figures 7, 8, 10)."""
+        return self.coherence.snoops
+
+    @property
+    def total_transactions(self) -> int:
+        return self.coherence.transactions
+
+    def snoops_per_transaction(self) -> float:
+        if self.coherence.transactions == 0:
+            return 0.0
+        return self.coherence.snoops / self.coherence.transactions
+
+    def miss_decomposition_by_initiator(self) -> Dict[Initiator, float]:
+        """Figure 1: shares of coherence transactions per initiator."""
+        total = sum(self.transactions_by_initiator.values())
+        if total == 0:
+            return {i: 0.0 for i in Initiator}
+        return {
+            i: count / total for i, count in self.transactions_by_initiator.items()
+        }
+
+    def l1_access_share(self, page_type: PageType) -> float:
+        """Table V column 1: share of L1 accesses on ``page_type`` pages."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.l1_accesses_by_page_type[page_type] / self.l1_accesses
+
+    def l2_miss_share(self, page_type: PageType) -> float:
+        """Table V column 2: share of coherence transactions on ``page_type``."""
+        if self.coherence.transactions == 0:
+            return 0.0
+        return (
+            self.coherence.transactions_by_page_type[page_type]
+            / self.coherence.transactions
+        )
+
+    def miss_rate(self) -> float:
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.coherence.transactions / self.l1_accesses

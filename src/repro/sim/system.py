@@ -1,0 +1,276 @@
+"""Build a complete simulated system from a :class:`SimConfig`.
+
+Wires together every substrate: mesh network, memory controller, token
+registry and protocol, per-core cache hierarchies with residence-counter
+observers, the hypervisor with its VMs, the virtual-snooping filter, and
+one synthetic workload per VM. Also performs the initial vCPU placement
+and the ideal content-sharing scan (flushing shared pages to memory, as
+Section VI requires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional
+
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.protocol import TokenProtocol
+from repro.coherence.registry import TokenRegistry
+from repro.core.filter import VirtualSnoopFilter
+from repro.hypervisor.hypervisor import Hypervisor, PlacementListener
+from repro.hypervisor.memory import MemoryManager
+from repro.hypervisor.vm import DOM0_VM_ID, VirtualMachine
+from repro.interconnect.messages import FlitSizing, MessageKind
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+from repro.mem.address import AddressLayout
+from repro.mem.controller import MemoryController
+from repro.sim.config import SimConfig
+from repro.sim.stats import SimStats
+from repro.workloads.generator import VmWorkload
+from repro.workloads.profiles import AppProfile
+
+HYPERVISOR_SPACE = -10
+"""Address-space id for the hypervisor's own (globally RW-shared) pages."""
+
+
+class CoherenceBridge(PlacementListener):
+    """Applies hypervisor page events to the coherence substrate.
+
+    When a page becomes content-shared the hypervisor "flushes any
+    modified cachelines of the page to the memory to ensure the memory
+    has a clean page" (Section VI-A); this bridge performs that flush on
+    the token registry and charges the writeback traffic.
+    """
+
+    def __init__(
+        self,
+        registry: TokenRegistry,
+        memory_ctrl: MemoryController,
+        network: NetworkModel,
+        layout: AddressLayout,
+        stats: SimStats,
+        caches: Optional[Dict[int, PrivateHierarchy]] = None,
+    ) -> None:
+        self.registry = registry
+        self.memory_ctrl = memory_ctrl
+        self.network = network
+        self.layout = layout
+        self.stats = stats
+        self.caches = caches if caches is not None else {}
+
+    def on_page_shared(self, host_page: int) -> None:
+        first_block = self.layout.block_in_page(host_page, 0)
+        for block in range(first_block, first_block + self.layout.blocks_per_page):
+            state = self.registry.state_of(block)
+            if state is None:
+                continue
+            if self.registry.flush_block_to_memory(block):
+                owner = next(iter(state.sharers), None)
+                self.memory_ctrl.writeback()
+                self.stats.flush_writebacks += 1
+                if owner is not None:
+                    self.network.send(
+                        owner, self.memory_ctrl.node, MessageKind.WRITEBACK
+                    )
+
+    def on_cow(self, vm_id: int, old_host_page: int, new_host_page: int) -> None:
+        self.stats.cow_events += 1
+
+    def on_page_freed(self, host_page: int) -> None:
+        """Flush every cached block of a freed host page.
+
+        The allocator may recycle the page to another VM, and stale
+        copies in foreign caches would break the VM-private invariant
+        virtual snooping relies on — real hypervisors flush reassigned
+        pages for the same reason.
+        """
+        first_block = self.layout.block_in_page(host_page, 0)
+        for block in range(first_block, first_block + self.layout.blocks_per_page):
+            sharers = self.registry.drop_block(block)
+            for core in sharers:
+                hierarchy = self.caches.get(core)
+                if hierarchy is not None:
+                    hierarchy.invalidate(block)
+
+
+def compute_friends(
+    memory: MemoryManager,
+    vm_ids: List[int],
+    stream_phases: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Pick each VM's *friend*: the VM it shares the most RO pages with.
+
+    When several VMs tie on shared-page count (the common case for
+    homogeneous consolidation, where every VM runs the same image), the
+    tie breaks toward the VM with the closest content-stream phase —
+    the one whose cached content overlaps the most *in time* — then
+    toward the lowest id for determinism. VMs sharing nothing get no
+    friend.
+    """
+    shared_counts: Dict[frozenset, int] = {}
+    for _, sharers in memory.iter_shared_pages():
+        for pair in combinations(sorted(sharers), 2):
+            key = frozenset(pair)
+            shared_counts[key] = shared_counts.get(key, 0) + 1
+
+    def affinity(vm_id: int, other: int):
+        count = shared_counts.get(frozenset((vm_id, other)), 0)
+        phase_distance = 0
+        if stream_phases and vm_id in stream_phases and other in stream_phases:
+            phase_distance = abs(stream_phases[vm_id] - stream_phases[other])
+        # Larger is better: more pages, then nearer phase, then lower id.
+        return (count, -phase_distance, -other)
+
+    friends: Dict[int, int] = {}
+    for vm_id in vm_ids:
+        others = [o for o in vm_ids if o != vm_id]
+        if not others:
+            continue
+        best = max(others, key=lambda other: affinity(vm_id, other))
+        if shared_counts.get(frozenset((vm_id, best)), 0) > 0:
+            friends[vm_id] = best
+    return friends
+
+
+@dataclass
+class SimulatedSystem:
+    """All components of one built simulation, ready for the engine."""
+
+    config: SimConfig
+    profile: AppProfile
+    layout: AddressLayout
+    topology: MeshTopology
+    network: NetworkModel
+    memory_ctrl: MemoryController
+    registry: TokenRegistry
+    protocol: TokenProtocol
+    caches: Dict[int, PrivateHierarchy]
+    hypervisor: Hypervisor
+    snoop_filter: PlacementListener  # VirtualSnoopFilter or RegionScoutFilter
+    vms: List[VirtualMachine]
+    workloads: Dict[int, VmWorkload]
+    stats: SimStats
+
+
+def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
+    """Construct and wire a full system running ``profile`` in every VM.
+
+    The paper's Section V/VI setup runs the same application in all VMs;
+    the initial placement is contiguous (VM *i* on cores
+    ``i*vcpus .. (i+1)*vcpus - 1``).
+    """
+    layout = AddressLayout(block_size=config.block_size)
+    topology = MeshTopology(config.mesh_width, config.mesh_height)
+    sizing = FlitSizing(link_bytes=config.link_bytes, block_bytes=config.block_size)
+    network = NetworkModel(
+        topology,
+        sizing,
+        router_latency=config.router_latency,
+        link_latency=config.link_latency,
+    )
+    memory_ctrl = MemoryController(latency=config.memory_latency, node=config.memory_node)
+    registry = TokenRegistry()
+    stats = SimStats()
+
+    def sync_vcpu_maps(vm_id: int, domain) -> None:
+        # The hypervisor core multicasts the new map to every core in it.
+        network.multicast(config.memory_node, domain, MessageKind.VCPU_MAP_UPDATE)
+
+    if config.filter_kind == "regionscout":
+        from repro.baselines.regionscout import RegionScoutFilter
+
+        snoop_filter = RegionScoutFilter(
+            config.num_cores, region_blocks=config.region_blocks
+        )
+    else:
+        snoop_filter = VirtualSnoopFilter(
+            config.num_cores,
+            policy=config.snoop_policy,
+            content_policy=config.content_policy,
+            counter_threshold=config.counter_threshold,
+            sync_hook=sync_vcpu_maps,
+        )
+    caches = {
+        core: PrivateHierarchy(
+            core,
+            l1_size=config.l1_size,
+            l1_ways=config.l1_ways,
+            l2_size=config.l2_size,
+            l2_ways=config.l2_ways,
+            block_size=config.block_size,
+            l1_latency=config.l1_latency,
+            l2_latency=config.l2_latency,
+            l2_observer=snoop_filter.trackers[core],
+        )
+        for core in range(config.num_cores)
+    }
+    protocol = TokenProtocol(
+        registry,
+        network,
+        memory_ctrl,
+        caches,
+        stats=stats.coherence,
+        snoop_lookup_latency=config.l2_latency,
+    )
+
+    hypervisor = Hypervisor(config.num_cores, host_pages=config.host_pages)
+    hypervisor.add_listener(snoop_filter)
+    bridge = CoherenceBridge(registry, memory_ctrl, network, layout, stats, caches)
+    hypervisor.add_listener(bridge)
+    hypervisor.memory.page_free_hook = bridge.on_page_freed
+    hypervisor.memory.create_address_space(HYPERVISOR_SPACE)
+    hypervisor.memory.create_address_space(DOM0_VM_ID)
+
+    vms = [hypervisor.create_vm(config.vcpus_per_vm) for _ in range(config.num_vms)]
+    for vm_index, vm in enumerate(vms):
+        for vcpu in vm.vcpus:
+            core = vm_index * config.vcpus_per_vm + vcpu.index
+            hypervisor.place_vcpu(vcpu, core)
+
+    workloads = {
+        vm.vm_id: VmWorkload(
+            profile,
+            vm.vm_id,
+            config.vcpus_per_vm,
+            seed=config.seed,
+            include_hypervisor=config.hypervisor_activity_enabled,
+            working_set_scale=config.working_set_scale,
+            coverage_accesses=max(config.warmup_accesses_per_vcpu, 1000),
+        )
+        for vm in vms
+    }
+    if config.content_sharing_enabled:
+        for vm in vms:
+            hypervisor.content.register_many(
+                vm.vm_id, workloads[vm.vm_id].content_pages()
+            )
+        hypervisor.share_identical_pages()
+        if isinstance(snoop_filter, VirtualSnoopFilter):
+            phases = {
+                vm_id: workload.content_stream_phase
+                for vm_id, workload in workloads.items()
+            }
+            friends = compute_friends(
+                hypervisor.memory, [vm.vm_id for vm in vms], stream_phases=phases
+            )
+            for vm_id, friend in friends.items():
+                snoop_filter.set_friend(vm_id, friend)
+
+    return SimulatedSystem(
+        config=config,
+        profile=profile,
+        layout=layout,
+        topology=topology,
+        network=network,
+        memory_ctrl=memory_ctrl,
+        registry=registry,
+        protocol=protocol,
+        caches=caches,
+        hypervisor=hypervisor,
+        snoop_filter=snoop_filter,
+        vms=vms,
+        workloads=workloads,
+        stats=stats,
+    )

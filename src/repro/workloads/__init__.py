@@ -1,0 +1,27 @@
+"""Workload substrate: profiles, trace records, synthetic generators."""
+
+from repro.workloads.generator import VmWorkload, solve_category_probabilities
+from repro.workloads.profiles import (
+    COHERENCE_APPS,
+    CONTENT_APPS,
+    FIG1_APPS,
+    PARSEC_APPS,
+    PROFILES,
+    AppProfile,
+    get_profile,
+)
+from repro.workloads.trace import Initiator, MemoryAccess
+
+__all__ = [
+    "AppProfile",
+    "COHERENCE_APPS",
+    "CONTENT_APPS",
+    "FIG1_APPS",
+    "Initiator",
+    "MemoryAccess",
+    "PARSEC_APPS",
+    "PROFILES",
+    "VmWorkload",
+    "get_profile",
+    "solve_category_probabilities",
+]

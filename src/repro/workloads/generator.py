@@ -1,0 +1,331 @@
+"""Synthetic per-VM access-stream generators.
+
+A :class:`VmWorkload` turns an :class:`~repro.workloads.profiles.AppProfile`
+into deterministic memory-access streams, one per vCPU. The address space
+of a VM is laid out in pools, each with a *hot* set (cache-resident,
+reused) and a *streaming* region (cold, one-touch per pass):
+
+====================  =========================================  =========
+pool                  guest pages                                 sharing
+====================  =========================================  =========
+private hot/stream    per-vCPU regions                            VM-private
+VM-shared hot/stream  one region per VM                           VM-private
+                      (shared among the VM's vCPUs)
+content hot/stream    identical page numbers and content labels   RO-shared
+                      in every VM running the same application
+hypervisor pool       hypervisor address space                    RW-shared
+dom0 pool             dom0 address space                          RW-shared
+====================  =========================================  =========
+
+Hot accesses nearly always hit; streaming accesses nearly always miss.
+The per-category probabilities are solved from the profile's targets so
+that the *shares* of L1 accesses and L2 misses land on the paper's
+measured values (see DESIGN.md §2). Streaming through the content region
+is what creates the cross-VM holder distribution of Table VI: several
+VMs walk the same region, so a block missed by one VM is often still
+resident in another VM's cache.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Iterator, List, Tuple
+
+from repro.workloads.profiles import AppProfile
+from repro.workloads.trace import Initiator, MemoryAccess
+
+BLOCKS_PER_PAGE = 64
+
+# Guest-page-number bases of each pool (disjoint by construction).
+SHARED_HOT_BASE = 0x20000
+SHARED_STREAM_BASE = 0x28000
+CONTENT_HOT_BASE = 0x40000
+CONTENT_STREAM_BASE = 0x48000
+PRIVATE_BASE = 0x100000
+PRIVATE_VCPU_STRIDE = 0x20000
+PRIVATE_STREAM_OFFSET = 0x10000
+
+# Pages in the hypervisor's and dom0's own address spaces.
+HYP_POOL_BASE = 0x1000
+HYP_POOL_PAGES = 512
+DOM0_POOL_BASE = 0x2000
+DOM0_POOL_PAGES = 512
+
+# Category indices (order defines the cumulative-probability table).
+_CONTENT_STREAM = 0
+_CONTENT_HOT = 1
+_HYP = 2
+_DOM0 = 3
+_SHARED_STREAM = 4
+_SHARED_HOT = 5
+_PRIVATE_STREAM = 6
+_PRIVATE_HOT = 7
+
+
+class _StreamCursor:
+    """A wrapping sequential walk over ``pages`` pages of one region."""
+
+    __slots__ = ("base", "pages", "page", "block")
+
+    def __init__(self, base: int, pages: int, start_page: int = 0) -> None:
+        self.base = base
+        self.pages = pages
+        self.page = start_page % pages
+        self.block = 0
+
+    def next(self) -> Tuple[int, int]:
+        location = (self.base + self.page, self.block)
+        self.block += 1
+        if self.block == BLOCKS_PER_PAGE:
+            self.block = 0
+            self.page = (self.page + 1) % self.pages
+        return location
+
+
+class CategoryMix:
+    """Solved per-access category probabilities plus derived knobs."""
+
+    __slots__ = ("probabilities", "shared_write_fraction")
+
+    def __init__(self, probabilities: List[float], shared_write_fraction: float) -> None:
+        self.probabilities = probabilities
+        self.shared_write_fraction = shared_write_fraction
+
+
+# A store to a hot VM-shared block costs roughly this many coherence
+# transactions once re-reads and upgrades by the other vCPUs are counted
+# (measured empirically on the simulator with 4 vCPUs per VM).
+PINGPONG_FACTOR = 8.0
+
+
+def solve_category_mix(
+    profile: AppProfile, include_hypervisor: bool = True
+) -> CategoryMix:
+    """Per-access probabilities of the eight access categories.
+
+    Streaming categories are sized so each pool's share of *misses* hits
+    the profile target (stream accesses miss with probability ~1, hot
+    accesses hit with probability ~1); hot categories absorb the rest of
+    the pool's *access* share.
+
+    ``include_hypervisor=False`` reproduces the paper's Section V
+    simulator, which runs neither the hypervisor nor dom0: their miss
+    mass is folded back into the guest pools.
+    """
+    m = profile.miss_rate
+    hyp_share = profile.hyp_miss_share if include_hypervisor else 0.0
+    dom0_share = profile.dom0_miss_share if include_hypervisor else 0.0
+    p_content_stream = profile.content_miss_share * m
+    p_content_hot = profile.content_access_fraction - p_content_stream
+    p_hyp = hyp_share * m
+    p_dom0 = dom0_share * m
+    rest_access = 1.0 - profile.content_access_fraction - p_hyp - p_dom0
+    if rest_access <= 0.0:
+        raise ValueError(f"{profile.name}: no access mass left for private pools")
+    rest_miss = m * (1.0 - profile.content_miss_share - hyp_share - dom0_share)
+    a_shared = min(profile.vm_shared_access_fraction, rest_access)
+    a_private = rest_access - a_shared
+    shared_budget = rest_miss * (a_shared / rest_access)
+    # Stores to hot VM-shared blocks trigger invalidation ping-pong; its
+    # expected coherence-transaction mass must come out of the shared
+    # pool's miss budget or the totals overshoot. Cap the effective
+    # write fraction so ping-pong consumes at most ~30% of the budget.
+    a_shared_hot = max(a_shared - shared_budget, 1e-12)
+    write_cap = 0.3 * shared_budget / (PINGPONG_FACTOR * a_shared_hot)
+    shared_write = min(profile.shared_write_fraction, write_cap)
+    pingpong_mass = PINGPONG_FACTOR * shared_write * a_shared_hot
+    p_shared_stream = max(shared_budget - pingpong_mass, 0.0)
+    p_private_stream = rest_miss - shared_budget
+    p_shared_hot = a_shared - p_shared_stream
+    p_private_hot = a_private - p_private_stream
+    probabilities = [
+        p_content_stream,
+        p_content_hot,
+        p_hyp,
+        p_dom0,
+        p_shared_stream,
+        p_shared_hot,
+        p_private_stream,
+        p_private_hot,
+    ]
+    if any(p < 0 for p in probabilities):
+        raise ValueError(
+            f"{profile.name}: inconsistent targets produced negative "
+            f"category probability {probabilities}"
+        )
+    return CategoryMix(probabilities, shared_write)
+
+
+def solve_category_probabilities(
+    profile: AppProfile, include_hypervisor: bool = True
+) -> List[float]:
+    """Back-compat helper: just the probability list of the mix."""
+    return solve_category_mix(profile, include_hypervisor).probabilities
+
+
+class VmWorkload:
+    """Deterministic access streams for one VM running one application."""
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        vm_id: int,
+        num_vcpus: int,
+        seed: int = 0,
+        include_hypervisor: bool = True,
+        working_set_scale: float = 1.0,
+        coverage_accesses: int = 6000,
+    ) -> None:
+        if working_set_scale <= 0:
+            raise ValueError(f"working_set_scale must be positive, got {working_set_scale}")
+        self.profile = profile
+        self.vm_id = vm_id
+        self.num_vcpus = num_vcpus
+        self._rng = random.Random(f"{seed}/{profile.name}/{vm_id}")
+        mix = solve_category_mix(profile, include_hypervisor)
+        self.shared_write_fraction = mix.shared_write_fraction
+        probabilities = mix.probabilities
+        # Hot-pool sizes, in blocks. The profile's page counts are upper
+        # bounds, additionally scaled for migration studies and capped so
+        # each pool is touched ~3x per core within ``coverage_accesses``
+        # (the warm-up budget) — a pool too large for its access rate
+        # would stay partially cold and leak uncalibrated misses.
+        scale = working_set_scale
+
+        def pool_blocks(pages: int, touch_probability: float) -> int:
+            bound = max(1, round(pages * scale)) * BLOCKS_PER_PAGE
+            coverage_cap = int(touch_probability * coverage_accesses / 3)
+            return max(16, min(bound, coverage_cap)) if coverage_cap > 0 else 16
+
+        self.private_hot_blocks = pool_blocks(
+            profile.hot_private_pages, probabilities[_PRIVATE_HOT]
+        )
+        self.shared_hot_blocks = pool_blocks(
+            profile.hot_shared_pages, probabilities[_SHARED_HOT]
+        )
+        self.content_hot_blocks = pool_blocks(
+            profile.hot_content_pages, probabilities[_CONTENT_HOT]
+        )
+        self.hot_content_pages = -(-self.content_hot_blocks // BLOCKS_PER_PAGE)
+        self.content_stream_pages = max(4, round(profile.content_stream_pages * scale))
+        self._cumulative: List[float] = []
+        total = 0.0
+        for p in probabilities:
+            total += p
+            self._cumulative.append(total)
+        # Streaming cursors. Private streams are per-vCPU; the VM-shared
+        # and content streams are walked jointly by all vCPUs of the VM.
+        # Content cursors start at a per-VM random phase so the VMs'
+        # positions in the (identical) region partially overlap — that
+        # overlap is the source of cross-VM cache holders (Table VI).
+        self._private_streams = [
+            _StreamCursor(
+                PRIVATE_BASE + v * PRIVATE_VCPU_STRIDE + PRIVATE_STREAM_OFFSET,
+                profile.stream_pages,
+            )
+            for v in range(num_vcpus)
+        ]
+        self._shared_stream = _StreamCursor(SHARED_STREAM_BASE, profile.stream_pages)
+        # Content-stream phase: VMs running the same application start
+        # together in reality, so their walks through the (identical)
+        # content region are loosely aligned. VMs are phased in *pairs* —
+        # a pair shares a nearby position (a few pages apart), pairs are
+        # half a region apart — so the trailing VM of a pair frequently
+        # misses onto blocks its partner fetched moments earlier. That
+        # partner is also the VM sharing the most content pages in time,
+        # i.e. the natural friend VM (Table VI, Figure 10).
+        # The pair offset must be small relative to how far a VM streams
+        # during a run, or the trailing VM never reaches its partner's
+        # footprint; scale it to ~half the expected warm-up advance.
+        advance_blocks = probabilities[_CONTENT_STREAM] * num_vcpus * coverage_accesses
+        pair_jitter = min(
+            max(1, int(advance_blocks / 2) // BLOCKS_PER_PAGE + 1),
+            max(1, self.content_stream_pages // 8),
+        )
+        pair_index = max(vm_id - 1, 0) // 2
+        member = max(vm_id - 1, 0) % 2
+        self.content_stream_phase = (
+            pair_index * (self.content_stream_pages // 2) + member * pair_jitter
+        ) % self.content_stream_pages
+        self._content_stream = _StreamCursor(
+            CONTENT_STREAM_BASE,
+            self.content_stream_pages,
+            start_page=self.content_stream_phase,
+        )
+        self._hyp_stream = _StreamCursor(HYP_POOL_BASE, HYP_POOL_PAGES)
+        self._dom0_stream = _StreamCursor(DOM0_POOL_BASE, DOM0_POOL_PAGES)
+
+    # ------------------------------------------------------------------
+    # Content-sharing registration.
+    # ------------------------------------------------------------------
+
+    def content_pages(self) -> Iterator[Tuple[int, int]]:
+        """(guest_page, content_label) pairs for the content pools.
+
+        Labels equal the page number, so every VM running the same
+        application produces identical labels and the scanner merges them.
+        """
+        for i in range(self.hot_content_pages):
+            page = CONTENT_HOT_BASE + i
+            yield page, page
+        for i in range(self.content_stream_pages):
+            page = CONTENT_STREAM_BASE + i
+            yield page, page
+
+    # ------------------------------------------------------------------
+    # Stream generation.
+    # ------------------------------------------------------------------
+
+    def next_access(self, vcpu_index: int) -> MemoryAccess:
+        """Generate the next access of ``vcpu_index``."""
+        rng = self._rng
+        category = bisect_right(self._cumulative, rng.random() * self._cumulative[-1])
+        category = min(category, _PRIVATE_HOT)
+        profile = self.profile
+        initiator = Initiator.GUEST
+        is_write = rng.random() < profile.write_fraction
+        if category == _CONTENT_STREAM:
+            page, block = self._content_stream.next()
+            is_write = rng.random() < profile.content_write_fraction
+        elif category == _CONTENT_HOT:
+            r = rng.randrange(self.content_hot_blocks)
+            page = CONTENT_HOT_BASE + r // BLOCKS_PER_PAGE
+            block = r % BLOCKS_PER_PAGE
+            is_write = rng.random() < profile.content_write_fraction
+        elif category == _HYP:
+            page, block = self._hyp_stream.next()
+            initiator = Initiator.HYPERVISOR
+            is_write = rng.random() < 0.2
+        elif category == _DOM0:
+            page, block = self._dom0_stream.next()
+            initiator = Initiator.DOM0
+            is_write = rng.random() < 0.2
+        elif category == _SHARED_STREAM:
+            page, block = self._shared_stream.next()
+            is_write = rng.random() < self.shared_write_fraction
+        elif category == _SHARED_HOT:
+            r = rng.randrange(self.shared_hot_blocks)
+            page = SHARED_HOT_BASE + r // BLOCKS_PER_PAGE
+            block = r % BLOCKS_PER_PAGE
+            is_write = rng.random() < self.shared_write_fraction
+        elif category == _PRIVATE_STREAM:
+            page, block = self._private_streams[vcpu_index].next()
+        else:
+            base = PRIVATE_BASE + vcpu_index * PRIVATE_VCPU_STRIDE
+            r = rng.randrange(self.private_hot_blocks)
+            page = base + r // BLOCKS_PER_PAGE
+            block = r % BLOCKS_PER_PAGE
+        return MemoryAccess(
+            vm_id=self.vm_id,
+            vcpu_index=vcpu_index,
+            initiator=initiator,
+            guest_page=page,
+            block_index=block,
+            is_write=is_write,
+        )
+
+    def stream(self, vcpu_index: int, count: int) -> Iterator[MemoryAccess]:
+        """Yield ``count`` accesses for one vCPU."""
+        for _ in range(count):
+            yield self.next_access(vcpu_index)

@@ -1,0 +1,45 @@
+"""Trace records: the memory accesses fed to the simulation engine.
+
+The paper drives GEMS with Simics full-system traces. Our substitute is a
+stream of :class:`MemoryAccess` records produced by the synthetic
+generators in :mod:`repro.workloads.generator`. Each record carries who
+issued it (guest VM, dom0, or the hypervisor — the Figure 1 attribution),
+which guest page and block it touches, and whether it stores.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import NamedTuple
+
+
+class Initiator(Enum):
+    """Who executed the instruction that produced the access."""
+
+    GUEST = "guest"
+    DOM0 = "dom0"
+    HYPERVISOR = "hypervisor"
+
+
+class MemoryAccess(NamedTuple):
+    """One memory reference.
+
+    Attributes:
+        vm_id: the VM whose vCPU context issued the access. Hypervisor
+            accesses keep the interrupted VM's id (the hypervisor runs in
+            whatever vCPU context trapped) but translate through the
+            hypervisor's own address space.
+        vcpu_index: index of the issuing vCPU within the VM.
+        initiator: GUEST, DOM0, or HYPERVISOR.
+        guest_page: guest-physical page number (or hypervisor-space page
+            for non-guest initiators).
+        block_index: block within the page (0..blocks_per_page-1).
+        is_write: store vs load.
+    """
+
+    vm_id: int
+    vcpu_index: int
+    initiator: Initiator
+    guest_page: int
+    block_index: int
+    is_write: bool

@@ -1,0 +1,65 @@
+"""Tests for the Figure 2 closed-form model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.potential import figure2_series, potential_snoop_reduction
+
+
+class TestPaperPoints:
+    """Figure 2's quoted numbers must come out exactly."""
+
+    def test_ideal_16_vms(self):
+        assert potential_snoop_reduction(16, 4, 0.0) == pytest.approx(0.9375)
+
+    def test_5_percent_hypervisor(self):
+        assert potential_snoop_reduction(16, 4, 0.05) == pytest.approx(0.890625)
+
+    def test_10_percent_hypervisor(self):
+        assert potential_snoop_reduction(16, 4, 0.10) == pytest.approx(0.84375)
+
+    def test_4_vms_ideal_is_75(self):
+        assert potential_snoop_reduction(4, 4, 0.0) == pytest.approx(0.75)
+
+    def test_single_vm_no_reduction(self):
+        assert potential_snoop_reduction(1, 4, 0.0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            potential_snoop_reduction(4, 4, 1.5)
+
+    def test_rejects_zero_vms(self):
+        with pytest.raises(ValueError):
+            potential_snoop_reduction(0, 4, 0.0)
+
+
+class TestSeries:
+    def test_shape(self):
+        series = figure2_series()
+        assert set(series) == {0.0, 0.05, 0.10, 0.20, 0.30, 0.40}
+        assert all(len(v) == 4 for v in series.values())
+
+    def test_monotone_in_vms(self):
+        series = figure2_series()
+        for values in series.values():
+            assert values == sorted(values)
+
+    def test_monotone_in_hypervisor_ratio(self):
+        series = figure2_series()
+        ratios = sorted(series)
+        for i in range(4):
+            column = [series[r][i] for r in ratios]
+            assert column == sorted(column, reverse=True)
+
+
+@given(
+    vms=st.integers(1, 64),
+    vcpus=st.integers(1, 16),
+    ratio=st.floats(0, 1),
+)
+def test_property_reduction_bounded(vms, vcpus, ratio):
+    reduction = potential_snoop_reduction(vms, vcpus, ratio)
+    assert 0.0 <= reduction < 1.0

@@ -1,0 +1,46 @@
+"""Tests for ASCII table/bar rendering."""
+
+import pytest
+
+from repro.analysis.tables import render_bars, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [(1, 2), (30, 4)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        out = render_table(["name", "v"], [("x", 1), ("longer", 22)])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines equal width
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [(1.23456,)])
+        assert "1.23" in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+
+class TestRenderBars:
+    def test_bar_length_proportional(self):
+        out = render_bars(["x", "y"], [50.0, 100.0], max_value=100.0, width=10)
+        x_line, y_line = out.splitlines()
+        assert x_line.count("#") == 5
+        assert y_line.count("#") == 10
+
+    def test_clamps_overflow(self):
+        out = render_bars(["x"], [500.0], max_value=100.0, width=10)
+        assert out.count("#") == 10
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_zero_max_no_crash(self):
+        assert "#" not in render_bars(["a"], [1.0], max_value=0.0)

@@ -1,0 +1,36 @@
+"""Tests for request plans."""
+
+import pytest
+
+from repro.coherence.plan import RequestPlan
+from repro.mem.pagetype import PageType
+
+ALL = frozenset(range(16))
+
+
+class TestRequestPlan:
+    def test_requires_attempts(self):
+        with pytest.raises(ValueError):
+            RequestPlan(attempts=())
+
+    def test_broadcast_factory(self):
+        plan = RequestPlan.broadcast(ALL, PageType.RW_SHARED)
+        assert plan.attempts == (ALL,)
+        assert plan.page_type is PageType.RW_SHARED
+        assert not plan.last_is_persistent
+
+    def test_ro_shared_flag(self):
+        plan = RequestPlan(attempts=(ALL,), page_type=PageType.RO_SHARED)
+        assert plan.ro_shared
+        assert not RequestPlan(attempts=(ALL,)).ro_shared
+
+    def test_plans_are_immutable(self):
+        plan = RequestPlan(attempts=(ALL,))
+        with pytest.raises(AttributeError):
+            plan.page_type = PageType.RO_SHARED
+
+    def test_defaults_empty_stats_domains(self):
+        plan = RequestPlan(attempts=(ALL,))
+        assert plan.stats_intra_domain == frozenset()
+        assert plan.stats_friend_domain == frozenset()
+        assert plan.provider_vms == ()

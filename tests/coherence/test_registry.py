@@ -1,0 +1,112 @@
+"""Tests for the token registry."""
+
+from repro.coherence.registry import GLOBAL_PROVIDER, MEMORY, TokenRegistry
+
+
+class TestGrants:
+    def test_initially_memory_owned(self):
+        reg = TokenRegistry()
+        assert reg.owner_of(0x10) == MEMORY
+        assert reg.sharers_of(0x10) == set()
+        assert not reg.is_cached_anywhere(0x10)
+
+    def test_grant_shared_adds_sharer_keeps_memory_owner(self):
+        reg = TokenRegistry()
+        reg.grant_shared(3, 0x10)
+        assert reg.sharers_of(0x10) == {3}
+        assert reg.owner_of(0x10) == MEMORY
+
+    def test_grant_exclusive_takes_all_tokens(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        reg.grant_shared(2, 0x10)
+        victims = reg.grant_exclusive(3, 0x10)
+        assert victims == {1, 2}
+        assert reg.owner_of(0x10) == 3
+        assert reg.sharers_of(0x10) == {3}
+        assert reg.has_exclusive(3, 0x10)
+
+    def test_upgrade_keeps_requester(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        victims = reg.grant_exclusive(1, 0x10)
+        assert victims == set()
+        assert reg.has_exclusive(1, 0x10)
+
+
+class TestEviction:
+    def test_sharer_eviction_returns_tokens(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        reg.grant_shared(2, 0x10)
+        assert reg.evicted(1, 0x10, dirty=False) == "token_return"
+        assert reg.sharers_of(0x10) == {2}
+
+    def test_dirty_owner_eviction_writes_back(self):
+        reg = TokenRegistry()
+        reg.grant_exclusive(1, 0x10)
+        assert reg.evicted(1, 0x10, dirty=True) == "writeback"
+        assert reg.owner_of(0x10) == MEMORY
+        assert not reg.is_cached_anywhere(0x10)
+
+    def test_eviction_of_noncached_is_none(self):
+        reg = TokenRegistry()
+        assert reg.evicted(1, 0x10, dirty=False) == "none"
+
+    def test_record_dropped_when_all_tokens_home(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        reg.evicted(1, 0x10, dirty=False)
+        assert len(reg) == 0
+
+    def test_eviction_drops_provider_designation(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10, vm_id=7)
+        assert reg.provider_for_vm(0x10, 7) == 1
+        reg.grant_shared(2, 0x10, vm_id=8)
+        reg.evicted(1, 0x10, dirty=False)
+        assert reg.provider_for_vm(0x10, 7) is None
+        assert reg.provider_for_vm(0x10, 8) == 2
+
+
+class TestProviders:
+    def test_first_copy_becomes_vm_provider(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10, vm_id=5)
+        reg.grant_shared(2, 0x10, vm_id=5)
+        assert reg.provider_for_vm(0x10, 5) == 1
+
+    def test_global_provider_set_with_vm_provider(self):
+        reg = TokenRegistry()
+        reg.grant_shared(4, 0x10, vm_id=5)
+        assert reg.provider_for_vm(0x10, GLOBAL_PROVIDER) == 4
+
+    def test_grant_exclusive_clears_providers(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10, vm_id=5)
+        reg.grant_exclusive(2, 0x10)
+        assert reg.provider_for_vm(0x10, 5) is None
+
+
+class TestFlush:
+    def test_flush_returns_ownership_to_memory(self):
+        reg = TokenRegistry()
+        reg.grant_exclusive(1, 0x10)
+        assert reg.flush_block_to_memory(0x10) is True
+        assert reg.owner_of(0x10) == MEMORY
+        assert reg.sharers_of(0x10) == {1}  # copy stays, now clean
+
+    def test_flush_clean_block(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        assert reg.flush_block_to_memory(0x10) is False
+
+    def test_flush_unknown_block(self):
+        reg = TokenRegistry()
+        assert reg.flush_block_to_memory(0x99) is False
+
+    def test_invalidated_removes_sharer(self):
+        reg = TokenRegistry()
+        reg.grant_shared(1, 0x10)
+        reg.invalidated(1, 0x10)
+        assert reg.sharers_of(0x10) == set()

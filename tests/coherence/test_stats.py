@@ -1,0 +1,42 @@
+"""Tests for protocol statistics."""
+
+from repro.coherence.stats import CoherenceStats
+from repro.mem.pagetype import PageType
+
+
+class TestRecording:
+    def test_transaction_classification(self):
+        stats = CoherenceStats()
+        stats.record_transaction(PageType.VM_PRIVATE, is_write=False)
+        stats.record_transaction(PageType.RO_SHARED, is_write=True)
+        assert stats.transactions == 2
+        assert stats.gets_count == 1
+        assert stats.getm_count == 1
+        assert stats.transactions_by_page_type[PageType.RO_SHARED] == 1
+
+    def test_snoop_recording(self):
+        stats = CoherenceStats()
+        stats.record_snoops(16, PageType.RW_SHARED)
+        stats.record_snoops(4, PageType.VM_PRIVATE)
+        assert stats.snoops == 20
+        assert stats.snoops_by_page_type[PageType.RW_SHARED] == 16
+
+
+class TestMerge:
+    def test_merge_accumulates_everything(self):
+        a, b = CoherenceStats(), CoherenceStats()
+        a.record_transaction(PageType.VM_PRIVATE, is_write=False)
+        a.record_snoops(4, PageType.VM_PRIVATE)
+        a.retries = 2
+        a.ro_misses = 1
+        b.record_transaction(PageType.RO_SHARED, is_write=True)
+        b.record_snoops(16, PageType.RO_SHARED)
+        b.cache_to_cache = 3
+        b.ro_holder_friend_vm = 1
+        a.merge(b)
+        assert a.transactions == 2
+        assert a.snoops == 20
+        assert a.retries == 2
+        assert a.cache_to_cache == 3
+        assert a.ro_holder_friend_vm == 1
+        assert a.transactions_by_page_type[PageType.RO_SHARED] == 1

@@ -1,0 +1,85 @@
+"""Tests for the snoop-domain (vCPU map) table."""
+
+from repro.core.domains import SnoopDomainTable
+
+
+class TestPlacement:
+    def test_place_adds_to_domain(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        table.vcpu_placed(1, 5)
+        assert table.domain(1) == frozenset({4, 5})
+        assert table.is_running_on(1, 4)
+
+    def test_displacement_keeps_core_in_domain(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        table.vcpu_displaced(1, 4)
+        assert not table.is_running_on(1, 4)
+        assert 4 in table.domain(1)
+
+    def test_two_vcpus_same_core_refcounted(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        table.vcpu_placed(1, 4)
+        table.vcpu_displaced(1, 4)
+        assert table.is_running_on(1, 4)
+        table.vcpu_displaced(1, 4)
+        assert not table.is_running_on(1, 4)
+
+    def test_unknown_vm_empty_domain(self):
+        table = SnoopDomainTable(16)
+        assert table.domain(9) == frozenset()
+
+
+class TestRemoval:
+    def test_cannot_remove_running_core(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        assert not table.try_remove(1, 4)
+        assert 4 in table.domain(1)
+
+    def test_remove_after_displacement(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        table.vcpu_displaced(1, 4)
+        assert table.try_remove(1, 4)
+        assert table.domain(1) == frozenset()
+
+    def test_remove_not_in_domain_is_noop(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4)
+        assert not table.try_remove(1, 9)
+
+    def test_removal_log_records_period(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4, cycle=0)
+        table.vcpu_displaced(1, 4, cycle=100)
+        table.try_remove(1, 4, cycle=350)
+        (record,) = table.removal_log
+        assert record.period == 250
+        assert record.vm_id == 1
+        assert record.core == 4
+
+    def test_replacement_cancels_pending_removal(self):
+        table = SnoopDomainTable(16)
+        table.vcpu_placed(1, 4, cycle=0)
+        table.vcpu_displaced(1, 4, cycle=10)
+        table.vcpu_placed(1, 4, cycle=20)  # VM comes back before removal
+        table.vcpu_displaced(1, 4, cycle=30)
+        table.try_remove(1, 4, cycle=40)
+        (record,) = table.removal_log
+        assert record.displaced_cycle == 30
+
+
+class TestSyncHook:
+    def test_hook_called_on_changes(self):
+        calls = []
+        table = SnoopDomainTable(16, sync_hook=lambda vm, dom: calls.append((vm, dom)))
+        table.vcpu_placed(1, 4)
+        table.vcpu_placed(1, 4)  # same core again: no map change
+        table.vcpu_displaced(1, 4)
+        table.vcpu_displaced(1, 4)
+        table.try_remove(1, 4)
+        assert calls == [(1, frozenset({4})), (1, frozenset())]
+        assert table.map_updates == 2

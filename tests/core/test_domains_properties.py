@@ -1,0 +1,61 @@
+"""Property-based tests for vCPU-map invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domains import SnoopDomainTable
+
+NUM_CORES = 8
+
+# (op, vm, core): 0 = place, 1 = displace, 2 = try_remove
+operations = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(1, 3), st.integers(0, NUM_CORES - 1)),
+    max_size=120,
+)
+
+
+@settings(max_examples=80)
+@given(operations)
+def test_property_running_cores_always_in_domain(ops):
+    """A VM's snoop domain always covers every core it is running on —
+    the correctness condition of virtual snooping."""
+    table = SnoopDomainTable(NUM_CORES)
+    placed = {}
+    for op, vm, core in ops:
+        if op == 0:
+            table.vcpu_placed(vm, core)
+            placed[(vm, core)] = placed.get((vm, core), 0) + 1
+        elif op == 1:
+            if placed.get((vm, core), 0) > 0:
+                table.vcpu_displaced(vm, core)
+                placed[(vm, core)] -= 1
+        else:
+            table.try_remove(vm, core)
+        for (v, c), count in placed.items():
+            if count > 0:
+                assert c in table.domain(v), (
+                    f"VM {v} runs on core {c} but domain is {table.domain(v)}"
+                )
+
+
+@settings(max_examples=80)
+@given(operations)
+def test_property_removal_log_consistent(ops):
+    """Every logged removal has a non-negative period and refers to a
+    core that was actually removed after a displacement."""
+    table = SnoopDomainTable(NUM_CORES)
+    placed = {}
+    cycle = 0
+    for op, vm, core in ops:
+        cycle += 1
+        if op == 0:
+            table.vcpu_placed(vm, core, cycle)
+            placed[(vm, core)] = placed.get((vm, core), 0) + 1
+        elif op == 1 and placed.get((vm, core), 0) > 0:
+            table.vcpu_displaced(vm, core, cycle)
+            placed[(vm, core)] -= 1
+        elif op == 2:
+            table.try_remove(vm, core, cycle)
+    for record in table.removal_log:
+        assert record.period >= 0
+        assert 0 <= record.core < NUM_CORES

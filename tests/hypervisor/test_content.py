@@ -1,0 +1,64 @@
+"""Tests for the content-based page sharing service."""
+
+from repro.hypervisor.content import ContentSharingService
+from repro.hypervisor.memory import MemoryManager
+from repro.mem.pagetype import PageType
+from repro.mem.physical import HostMemory
+
+
+def make_service(num_vms=3):
+    manager = MemoryManager(HostMemory(256))
+    for vm in range(1, num_vms + 1):
+        manager.create_address_space(vm)
+    return ContentSharingService(manager), manager
+
+
+class TestScan:
+    def test_merges_identical_across_vms(self):
+        service, manager = make_service()
+        for vm in (1, 2, 3):
+            service.register_content(vm, 10, label=777)
+        shared = service.scan()
+        assert len(shared) == 1
+        assert manager.sharers_of(shared[0]) == {1, 2, 3}
+        assert service.pages_merged == 2
+
+    def test_single_vm_duplicates_not_merged(self):
+        service, manager = make_service()
+        service.register_content(1, 10, label=5)
+        service.register_content(1, 11, label=5)
+        assert service.scan() == []
+
+    def test_different_labels_not_merged(self):
+        service, _ = make_service()
+        service.register_content(1, 10, label=1)
+        service.register_content(2, 10, label=2)
+        assert service.scan() == []
+
+    def test_multiple_groups(self):
+        service, _ = make_service()
+        service.register_many(1, [(10, 100), (11, 101)])
+        service.register_many(2, [(20, 100), (21, 101)])
+        assert len(service.scan()) == 2
+
+    def test_scan_deterministic_order(self):
+        service_a, _ = make_service()
+        service_b, _ = make_service()
+        for service in (service_a, service_b):
+            service.register_content(1, 10, label=2)
+            service.register_content(2, 10, label=2)
+            service.register_content(1, 11, label=1)
+            service.register_content(2, 11, label=1)
+        assert service_a.scan() == service_b.scan()
+
+
+class TestWriteFault:
+    def test_cow_invalidates_label(self):
+        service, manager = make_service()
+        service.register_content(1, 10, label=9)
+        service.register_content(2, 10, label=9)
+        service.scan()
+        new_host = service.handle_write_fault(1, 10)
+        assert manager.page_type_of(new_host) is PageType.VM_PRIVATE
+        # The writer's page diverged: a rescan must not re-merge it.
+        assert service.scan() == []

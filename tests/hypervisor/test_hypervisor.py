@@ -1,0 +1,126 @@
+"""Tests for the hypervisor facade (placement, listeners, COW)."""
+
+import pytest
+
+from repro.hypervisor.hypervisor import Hypervisor, PlacementListener
+from repro.mem.pagetype import PageType
+
+
+class Recorder(PlacementListener):
+    def __init__(self):
+        self.placed = []
+        self.displaced = []
+        self.shared = []
+        self.cows = []
+
+    def on_vcpu_placed(self, vm_id, core):
+        self.placed.append((vm_id, core))
+
+    def on_vcpu_displaced(self, vm_id, core):
+        self.displaced.append((vm_id, core))
+
+    def on_page_shared(self, host_page):
+        self.shared.append(host_page)
+
+    def on_cow(self, vm_id, old, new):
+        self.cows.append((vm_id, old, new))
+
+
+def make_hypervisor():
+    hyp = Hypervisor(num_cores=8, host_pages=256)
+    recorder = Recorder()
+    hyp.add_listener(recorder)
+    return hyp, recorder
+
+
+class TestVmLifecycle:
+    def test_vm_ids_start_after_dom0(self):
+        hyp, _ = make_hypervisor()
+        vm = hyp.create_vm(4)
+        assert vm.vm_id == 1
+        assert hyp.create_vm(4).vm_id == 2
+
+    def test_address_space_created(self):
+        hyp, _ = make_hypervisor()
+        vm = hyp.create_vm(2)
+        host, page_type = hyp.translate(vm.vm_id, 5)
+        assert page_type is PageType.VM_PRIVATE
+
+
+class TestPlacement:
+    def test_place_notifies_listener(self):
+        hyp, rec = make_hypervisor()
+        vm = hyp.create_vm(2)
+        hyp.place_vcpu(vm.vcpus[0], 3)
+        assert rec.placed == [(vm.vm_id, 3)]
+        assert hyp.occupant_of(3) is vm.vcpus[0]
+
+    def test_place_on_busy_core_rejected(self):
+        hyp, _ = make_hypervisor()
+        vm = hyp.create_vm(2)
+        hyp.place_vcpu(vm.vcpus[0], 3)
+        with pytest.raises(ValueError):
+            hyp.place_vcpu(vm.vcpus[1], 3)
+
+    def test_replace_moves_and_notifies(self):
+        hyp, rec = make_hypervisor()
+        vm = hyp.create_vm(1)
+        hyp.place_vcpu(vm.vcpus[0], 0)
+        hyp.place_vcpu(vm.vcpus[0], 5)
+        assert rec.displaced == [(vm.vm_id, 0)]
+        assert hyp.occupant_of(0) is None
+        assert hyp.occupant_of(5) is vm.vcpus[0]
+
+    def test_swap_exchanges_cores(self):
+        hyp, rec = make_hypervisor()
+        vm1, vm2 = hyp.create_vm(1), hyp.create_vm(1)
+        hyp.place_vcpu(vm1.vcpus[0], 0)
+        hyp.place_vcpu(vm2.vcpus[0], 4)
+        hyp.swap_vcpus(vm1.vcpus[0], vm2.vcpus[0], cycle=99)
+        assert vm1.vcpus[0].core == 4
+        assert vm2.vcpus[0].core == 0
+        assert len(hyp.relocations) == 4  # 2 placements + 2 swap records
+
+    def test_swap_requires_running_vcpus(self):
+        hyp, _ = make_hypervisor()
+        vm1, vm2 = hyp.create_vm(1), hyp.create_vm(1)
+        hyp.place_vcpu(vm1.vcpus[0], 0)
+        with pytest.raises(ValueError):
+            hyp.swap_vcpus(vm1.vcpus[0], vm2.vcpus[0])
+
+    def test_relocation_log_records_old_core(self):
+        hyp, _ = make_hypervisor()
+        vm = hyp.create_vm(1)
+        hyp.place_vcpu(vm.vcpus[0], 0, cycle=0)
+        hyp.place_vcpu(vm.vcpus[0], 1, cycle=10)
+        assert hyp.relocations[-1].old_core == 0
+        assert hyp.relocations[-1].new_core == 1
+        assert hyp.relocations[-1].cycle == 10
+
+
+class TestMemoryEvents:
+    def test_share_notifies_listener(self):
+        hyp, rec = make_hypervisor()
+        vm1, vm2 = hyp.create_vm(1), hyp.create_vm(1)
+        hyp.content.register_content(vm1.vm_id, 7, label=1)
+        hyp.content.register_content(vm2.vm_id, 7, label=1)
+        shared = hyp.share_identical_pages()
+        assert rec.shared == shared
+        assert len(shared) == 1
+
+    def test_write_to_shared_page_cows(self):
+        hyp, rec = make_hypervisor()
+        vm1, vm2 = hyp.create_vm(1), hyp.create_vm(1)
+        hyp.content.register_content(vm1.vm_id, 7, label=1)
+        hyp.content.register_content(vm2.vm_id, 7, label=1)
+        hyp.share_identical_pages()
+        host, page_type = hyp.write_to_page(vm1.vm_id, 7)
+        assert page_type is PageType.VM_PRIVATE
+        assert len(rec.cows) == 1
+
+    def test_write_to_private_page_no_cow(self):
+        hyp, rec = make_hypervisor()
+        vm = hyp.create_vm(1)
+        host, page_type = hyp.write_to_page(vm.vm_id, 9)
+        assert page_type is PageType.VM_PRIVATE
+        assert rec.cows == []

@@ -1,0 +1,126 @@
+"""Tests for guest-physical -> host-physical memory management."""
+
+import pytest
+
+from repro.hypervisor.memory import MemoryManager, TranslationFault
+from repro.mem.pagetype import PageType
+from repro.mem.physical import HostMemory
+
+
+def make_manager(pages=64):
+    manager = MemoryManager(HostMemory(pages))
+    manager.create_address_space(1)
+    manager.create_address_space(2)
+    return manager
+
+
+class TestMapping:
+    def test_lazy_translation_maps_private(self):
+        manager = make_manager()
+        host, page_type = manager.translate(1, 100)
+        assert page_type is PageType.VM_PRIVATE
+        assert manager.owner_of(host) == 1
+
+    def test_translation_is_stable(self):
+        manager = make_manager()
+        first, _ = manager.translate(1, 100)
+        second, _ = manager.translate(1, 100)
+        assert first == second
+
+    def test_vms_get_distinct_host_pages(self):
+        manager = make_manager()
+        host1, _ = manager.translate(1, 100)
+        host2, _ = manager.translate(2, 100)
+        assert host1 != host2
+
+    def test_double_map_rejected(self):
+        manager = make_manager()
+        manager.map_page(1, 100)
+        with pytest.raises(ValueError):
+            manager.map_page(1, 100)
+
+    def test_unknown_space_faults(self):
+        manager = make_manager()
+        with pytest.raises(TranslationFault):
+            manager.translate(9, 100)
+
+    def test_duplicate_address_space_rejected(self):
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            manager.create_address_space(1)
+
+
+class TestRwShared:
+    def test_mark_rw_shared(self):
+        manager = make_manager()
+        host = manager.mark_rw_shared(1, 50)
+        assert manager.page_type_of(host) is PageType.RW_SHARED
+        assert manager.owner_of(host) is None
+
+
+class TestContentSharing:
+    def test_share_content_collapses_pages(self):
+        manager = make_manager()
+        manager.translate(1, 10)
+        manager.translate(2, 10)
+        before = manager.host.allocated_count
+        shared = manager.share_content([(1, 10), (2, 10)])
+        assert manager.page_type_of(shared) is PageType.RO_SHARED
+        assert manager.sharers_of(shared) == {1, 2}
+        # One page freed by deduplication.
+        assert manager.host.allocated_count == before - 1
+        assert manager.translate(1, 10)[0] == manager.translate(2, 10)[0]
+
+    def test_share_content_requires_two(self):
+        manager = make_manager()
+        with pytest.raises(ValueError):
+            manager.share_content([(1, 10)])
+
+    def test_share_unmapped_pages_maps_them(self):
+        manager = make_manager()
+        shared = manager.share_content([(1, 11), (2, 11)])
+        assert manager.page_type_of(shared) is PageType.RO_SHARED
+
+    def test_iter_shared_pages(self):
+        manager = make_manager()
+        manager.share_content([(1, 10), (2, 10)])
+        pages = list(manager.iter_shared_pages())
+        assert len(pages) == 1
+        _, sharers = pages[0]
+        assert sharers == frozenset({1, 2})
+
+
+class TestCopyOnWrite:
+    def test_cow_gives_private_copy(self):
+        manager = make_manager()
+        shared = manager.share_content([(1, 10), (2, 10)])
+        new_host = manager.copy_on_write(1, 10)
+        assert new_host != shared
+        assert manager.page_type_of(new_host) is PageType.VM_PRIVATE
+        assert manager.owner_of(new_host) == 1
+        # VM 2 still sees the shared page.
+        assert manager.translate(2, 10)[0] == shared
+        assert manager.sharers_of(shared) == {2}
+
+    def test_cow_last_sharer_frees_page(self):
+        manager = make_manager()
+        shared = manager.share_content([(1, 10), (2, 10)])
+        manager.copy_on_write(1, 10)
+        before = manager.host.allocated_count
+        manager.copy_on_write(2, 10)
+        # Old shared page freed, new private page allocated: net zero.
+        assert manager.host.allocated_count == before
+        with pytest.raises(TranslationFault):
+            manager.page_type_of(shared)
+
+    def test_cow_on_private_page_rejected(self):
+        manager = make_manager()
+        manager.translate(1, 10)
+        with pytest.raises(ValueError):
+            manager.copy_on_write(1, 10)
+
+    def test_cow_counts_faults(self):
+        manager = make_manager()
+        manager.share_content([(1, 10), (2, 10)])
+        manager.copy_on_write(1, 10)
+        assert manager.cow_faults == 1

@@ -1,0 +1,162 @@
+"""Tests for the credit-scheduler simulation."""
+
+import pytest
+
+from repro.hypervisor.scheduler import (
+    CreditSchedulerSim,
+    SchedulerConfig,
+    SchedulerResult,
+)
+from repro.workloads import get_profile
+from repro.workloads.profiles import AppProfile
+
+
+def quick_profile(**kw):
+    defaults = dict(
+        name="synthetic",
+        suite="parsec",
+        run_burst_ms=5.0,
+        block_ms=1.0,
+        io_wakes_per_sec=50.0,
+        work_ms_per_vcpu=200.0,
+    )
+    defaults.update(kw)
+    return AppProfile(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="random")
+
+    def test_rejects_bad_tick(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(tick_ms=0)
+
+
+class TestCompletion:
+    def test_all_work_completes(self):
+        sim = CreditSchedulerSim(SchedulerConfig(), quick_profile(), num_vms=2)
+        result = sim.run()
+        assert result.wall_ms > 0
+        assert len(result.vm_finish_ms) == 2
+        assert all(v.state == "done" for v in sim.vcpus)
+
+    def test_wall_time_bounded_below_by_work(self):
+        profile = quick_profile(work_ms_per_vcpu=100.0)
+        result = CreditSchedulerSim(SchedulerConfig(), profile, num_vms=2).run()
+        assert result.wall_ms >= 100.0
+
+    def test_overcommit_takes_longer(self):
+        profile = quick_profile()
+        under = CreditSchedulerSim(SchedulerConfig(), profile, num_vms=2).run()
+        over = CreditSchedulerSim(SchedulerConfig(), profile, num_vms=4).run()
+        assert over.wall_ms > under.wall_ms
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        profile = quick_profile()
+        a = CreditSchedulerSim(SchedulerConfig(seed=3), profile, num_vms=2).run()
+        b = CreditSchedulerSim(SchedulerConfig(seed=3), profile, num_vms=2).run()
+        assert a.wall_ms == b.wall_ms
+        assert a.guest_migrations == b.guest_migrations
+
+
+class TestPolicies:
+    def test_pinned_never_migrates(self):
+        profile = quick_profile()
+        result = CreditSchedulerSim(
+            SchedulerConfig(policy="pinned"), profile, num_vms=4
+        ).run()
+        assert result.guest_migrations == 0
+
+    def test_credit_migrates_when_overcommitted(self):
+        profile = quick_profile()
+        result = CreditSchedulerSim(
+            SchedulerConfig(policy="credit"), profile, num_vms=4
+        ).run()
+        assert result.guest_migrations > 0
+
+    def test_paper_shape_overcommitted_pinning_slower(self):
+        profile = quick_profile(work_ms_per_vcpu=400.0)
+        pinned = CreditSchedulerSim(
+            SchedulerConfig(policy="pinned"), profile, num_vms=4
+        ).run()
+        credit = CreditSchedulerSim(
+            SchedulerConfig(policy="credit"), profile, num_vms=4
+        ).run()
+        assert pinned.wall_ms > credit.wall_ms
+
+    def test_paper_shape_undercommitted_pinning_competitive(self):
+        profile = get_profile("canneal")
+        pinned = CreditSchedulerSim(
+            SchedulerConfig(policy="pinned"), profile, num_vms=2
+        ).run()
+        credit = CreditSchedulerSim(
+            SchedulerConfig(policy="credit"), profile, num_vms=2
+        ).run()
+        assert pinned.wall_ms <= credit.wall_ms * 1.05
+
+
+class TestClusteredPolicy:
+    def test_rejects_bad_cluster_factor(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="clustered", cluster_factor=0.5)
+
+    def test_vcpus_never_leave_their_cluster(self):
+        profile = quick_profile()
+        sim = CreditSchedulerSim(
+            SchedulerConfig(policy="clustered", cluster_factor=1.5),
+            profile,
+            num_vms=4,
+        )
+        sim.run()
+        for vcpu in sim.vcpus:
+            assert vcpu.allowed_cores is not None
+            assert vcpu.last_core in vcpu.allowed_cores
+
+    def test_clustered_between_pinned_and_credit(self):
+        profile = quick_profile(work_ms_per_vcpu=400.0)
+        walls = {}
+        for policy in ("pinned", "clustered", "credit"):
+            walls[policy] = CreditSchedulerSim(
+                SchedulerConfig(policy=policy), profile, num_vms=4
+            ).run().wall_ms
+        assert walls["clustered"] <= walls["pinned"] * 1.02
+        assert walls["clustered"] >= walls["credit"] * 0.95
+
+    def test_cluster_window_size(self):
+        profile = quick_profile()
+        sim = CreditSchedulerSim(
+            SchedulerConfig(policy="clustered", cluster_factor=1.5),
+            profile,
+            num_vms=4,
+        )
+        for vcpu in sim.vcpus:
+            assert len(vcpu.allowed_cores) == 6  # 4 vCPUs x 1.5
+
+
+class TestRelocationPeriod:
+    def test_period_infinite_without_migrations(self):
+        result = SchedulerResult(
+            wall_ms=100.0, vm_finish_ms={}, guest_migrations=0,
+            guest_vcpus=8, dom0_wakes=0,
+        )
+        assert result.relocation_period_ms == float("inf")
+
+    def test_period_formula(self):
+        result = SchedulerResult(
+            wall_ms=100.0, vm_finish_ms={}, guest_migrations=50,
+            guest_vcpus=8, dom0_wakes=0,
+        )
+        assert result.relocation_period_ms == pytest.approx(16.0)
+
+    def test_io_heavy_app_migrates_more(self):
+        calm = quick_profile(io_wakes_per_sec=5.0, run_burst_ms=50.0)
+        busy = quick_profile(io_wakes_per_sec=500.0, run_burst_ms=1.0, block_ms=0.5)
+        calm_result = CreditSchedulerSim(SchedulerConfig(), calm, num_vms=2).run()
+        busy_result = CreditSchedulerSim(SchedulerConfig(), busy, num_vms=2).run()
+        assert (
+            busy_result.relocation_period_ms < calm_result.relocation_period_ms
+        )

@@ -1,0 +1,39 @@
+"""Tests for VM and vCPU objects."""
+
+import pytest
+
+from repro.hypervisor.vm import DOM0_VM_ID, FIRST_GUEST_VM_ID, VCpu, VirtualMachine
+
+
+class TestVirtualMachine:
+    def test_creates_vcpus(self):
+        vm = VirtualMachine(3, 4)
+        assert vm.num_vcpus == 4
+        assert [v.index for v in vm.vcpus] == [0, 1, 2, 3]
+        assert all(v.vm_id == 3 for v in vm.vcpus)
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(1, 0)
+
+    def test_default_name(self):
+        assert VirtualMachine(7, 1).name == "vm7"
+        assert VirtualMachine(7, 1, name="web").name == "web"
+
+    def test_cores_in_use_skips_descheduled(self):
+        vm = VirtualMachine(1, 3)
+        vm.vcpus[0].core = 5
+        vm.vcpus[2].core = 9
+        assert sorted(vm.cores_in_use()) == [5, 9]
+
+
+class TestVCpu:
+    def test_global_name(self):
+        assert VCpu(2, 1).global_name == "vm2.vcpu1"
+
+    def test_starts_descheduled(self):
+        assert VCpu(1, 0).core is None
+
+
+def test_dom0_id_precedes_guests():
+    assert DOM0_VM_ID < FIRST_GUEST_VM_ID

@@ -1,0 +1,94 @@
+"""Tests for traffic accounting and the latency model."""
+
+import pytest
+
+from repro.interconnect.messages import DEFAULT_SIZING, FlitSizing, MessageKind
+from repro.interconnect.network import NetworkModel
+from repro.interconnect.topology import MeshTopology
+
+
+class TestFlitSizing:
+    def test_control_is_one_flit(self):
+        assert DEFAULT_SIZING.flits(MessageKind.REQUEST) == 1
+        assert DEFAULT_SIZING.flits(MessageKind.ACK) == 1
+        assert DEFAULT_SIZING.flits(MessageKind.TOKEN_RETURN) == 1
+
+    def test_data_is_five_flits(self):
+        # 8 B header + 64 B block over 16 B links.
+        assert DEFAULT_SIZING.flits(MessageKind.DATA) == 5
+        assert DEFAULT_SIZING.flits(MessageKind.WRITEBACK) == 5
+
+    def test_bytes_of(self):
+        assert DEFAULT_SIZING.bytes_of(MessageKind.REQUEST) == 16
+        assert DEFAULT_SIZING.bytes_of(MessageKind.DATA) == 80
+
+    def test_custom_link_width(self):
+        wide = FlitSizing(link_bytes=32)
+        assert wide.flits(MessageKind.DATA) == 3  # ceil(72/32)
+
+
+class TestNetworkAccounting:
+    def setup_method(self):
+        self.net = NetworkModel(MeshTopology(4, 4))
+
+    def test_self_send_free(self):
+        assert self.net.send(3, 3, MessageKind.REQUEST) == 0
+        assert self.net.messages == 0
+
+    def test_unicast_latency_and_traffic(self):
+        latency = self.net.send(0, 15, MessageKind.REQUEST)
+        assert latency == 6 * (4 + 1)  # 6 hops, 4-cycle router + 1-cycle link
+        assert self.net.messages == 1
+        assert self.net.flit_hops == 6
+        assert self.net.bytes_transferred == 6 * 16
+
+    def test_data_message_traffic(self):
+        self.net.send(0, 1, MessageKind.DATA)
+        assert self.net.flit_hops == 5
+        assert self.net.bytes_transferred == 5 * 16
+
+    def test_multicast_charges_each_destination(self):
+        latency = self.net.multicast(0, [1, 15, 0], MessageKind.REQUEST)
+        # src itself is skipped; worst destination is 15 (6 hops).
+        assert latency == 6 * 5
+        assert self.net.messages == 2
+        assert self.net.flit_hops == 1 + 6
+
+    def test_empty_multicast_free(self):
+        assert self.net.multicast(0, [0], MessageKind.REQUEST) == 0
+        assert self.net.messages == 0
+
+    def test_broadcast_traffic_exceeds_domain_multicast(self):
+        broadcast = NetworkModel(MeshTopology(4, 4))
+        domain = NetworkModel(MeshTopology(4, 4))
+        broadcast.multicast(5, range(16), MessageKind.REQUEST)
+        domain.multicast(5, [4, 5, 6, 7], MessageKind.REQUEST)
+        assert broadcast.flit_hops > 3 * domain.flit_hops
+
+    def test_link_count_4x4(self):
+        assert self.net.num_links == 48  # 2*(2*16-4-4)
+
+    def test_reset(self):
+        self.net.send(0, 5, MessageKind.DATA)
+        self.net.reset()
+        assert self.net.messages == 0
+        assert self.net.bytes_transferred == 0
+
+
+class TestContention:
+    def test_idle_network_no_delay(self):
+        net = NetworkModel(MeshTopology(4, 4))
+        assert net.contention_delay() == 0
+
+    def test_heavy_load_raises_delay(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        for cycle in range(0, 2000, 2):
+            net.multicast(0, range(16), MessageKind.DATA, cycle=cycle)
+        assert net.utilisation() > 0.1
+        assert net.contention_delay() > 0
+
+    def test_utilisation_capped(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=16)
+        for cycle in range(1000):
+            net.multicast(0, range(16), MessageKind.DATA, cycle=cycle)
+        assert net.utilisation() <= 0.95

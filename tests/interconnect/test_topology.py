@@ -1,0 +1,75 @@
+"""Tests for the mesh topology and XY routing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interconnect.topology import MeshTopology
+
+
+class TestMesh4x4:
+    def setup_method(self):
+        self.mesh = MeshTopology(4, 4)
+
+    def test_num_nodes(self):
+        assert self.mesh.num_nodes == 16
+
+    def test_coords_row_major(self):
+        assert self.mesh.coords(0) == (0, 0)
+        assert self.mesh.coords(3) == (3, 0)
+        assert self.mesh.coords(4) == (0, 1)
+        assert self.mesh.coords(15) == (3, 3)
+
+    def test_hops_manhattan(self):
+        assert self.mesh.hops(0, 15) == 6
+        assert self.mesh.hops(0, 0) == 0
+        assert self.mesh.hops(5, 6) == 1
+
+    def test_xy_route_goes_x_first(self):
+        route = self.mesh.xy_route(0, 15)
+        assert route == [0, 1, 2, 3, 7, 11, 15]
+
+    def test_xy_route_length_matches_hops(self):
+        for src in range(16):
+            for dst in range(16):
+                route = self.mesh.xy_route(src, dst)
+                assert len(route) - 1 == self.mesh.hops(src, dst)
+
+    def test_neighbours_corner_and_centre(self):
+        assert set(self.mesh.neighbours(0)) == {1, 4}
+        assert set(self.mesh.neighbours(5)) == {4, 6, 1, 9}
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self.mesh.coords(16)
+        with pytest.raises(ValueError):
+            self.mesh.node_at(4, 0)
+
+    def test_average_distance(self):
+        # Per-dimension mean |xi-xj| over all n^2 pairs is (n^2-1)/(3n);
+        # excluding the n^2 self-pairs scales by n^4/(n^4-n^2):
+        # 2 * 1.25 * 256/240 = 8/3 for a 4x4 mesh.
+        assert self.mesh.average_distance() == pytest.approx(8 / 3, abs=1e-9)
+
+
+def test_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        MeshTopology(0, 4)
+
+
+@given(
+    src=st.integers(0, 15),
+    dst=st.integers(0, 15),
+)
+def test_property_route_valid_steps(src, dst):
+    mesh = MeshTopology(4, 4)
+    route = mesh.xy_route(src, dst)
+    assert route[0] == src and route[-1] == dst
+    for a, b in zip(route, route[1:]):
+        assert mesh.hops(a, b) == 1
+
+
+@given(src=st.integers(0, 15), dst=st.integers(0, 15))
+def test_property_hops_symmetric(src, dst):
+    mesh = MeshTopology(4, 4)
+    assert mesh.hops(src, dst) == mesh.hops(dst, src)

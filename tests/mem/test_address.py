@@ -1,0 +1,72 @@
+"""Tests for address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.address import DEFAULT_LAYOUT, AddressLayout
+
+
+class TestLayoutValidation:
+    def test_default_geometry(self):
+        assert DEFAULT_LAYOUT.block_size == 64
+        assert DEFAULT_LAYOUT.page_size == 4096
+        assert DEFAULT_LAYOUT.blocks_per_page == 64
+        assert DEFAULT_LAYOUT.block_bits == 6
+        assert DEFAULT_LAYOUT.page_bits == 12
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            AddressLayout(block_size=48)
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ValueError):
+            AddressLayout(page_size=5000)
+
+    def test_rejects_page_smaller_than_block(self):
+        with pytest.raises(ValueError):
+            AddressLayout(block_size=128, page_size=64)
+
+
+class TestConversions:
+    def test_block_of_addr(self):
+        assert DEFAULT_LAYOUT.block_of(0) == 0
+        assert DEFAULT_LAYOUT.block_of(63) == 0
+        assert DEFAULT_LAYOUT.block_of(64) == 1
+        assert DEFAULT_LAYOUT.block_of(4095) == 63
+
+    def test_page_of_addr(self):
+        assert DEFAULT_LAYOUT.page_of(4095) == 0
+        assert DEFAULT_LAYOUT.page_of(4096) == 1
+
+    def test_page_of_block(self):
+        assert DEFAULT_LAYOUT.page_of_block(63) == 0
+        assert DEFAULT_LAYOUT.page_of_block(64) == 1
+
+    def test_block_in_page_roundtrip(self):
+        block = DEFAULT_LAYOUT.block_in_page(7, 13)
+        assert DEFAULT_LAYOUT.page_of_block(block) == 7
+        assert DEFAULT_LAYOUT.block_index_in_page(block) == 13
+
+    def test_block_in_page_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LAYOUT.block_in_page(0, 64)
+        with pytest.raises(ValueError):
+            DEFAULT_LAYOUT.block_in_page(0, -1)
+
+    def test_addr_of_block_and_page(self):
+        assert DEFAULT_LAYOUT.addr_of_block(2) == 128
+        assert DEFAULT_LAYOUT.addr_of_page(3) == 12288
+
+
+@given(page=st.integers(min_value=0, max_value=2**40), index=st.integers(0, 63))
+def test_property_page_block_roundtrip(page, index):
+    block = DEFAULT_LAYOUT.block_in_page(page, index)
+    assert DEFAULT_LAYOUT.page_of_block(block) == page
+    assert DEFAULT_LAYOUT.block_index_in_page(block) == index
+
+
+@given(addr=st.integers(min_value=0, max_value=2**48))
+def test_property_block_page_consistent(addr):
+    block = DEFAULT_LAYOUT.block_of(addr)
+    assert DEFAULT_LAYOUT.page_of_block(block) == DEFAULT_LAYOUT.page_of(addr)

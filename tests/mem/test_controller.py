@@ -1,0 +1,32 @@
+"""Tests for the memory controller model."""
+
+from repro.mem.controller import MemoryController
+
+
+class TestMemoryController:
+    def test_read_returns_latency(self):
+        controller = MemoryController(latency=80)
+        assert controller.read() == 80
+        assert controller.data_reads == 1
+
+    def test_counters_accumulate(self):
+        controller = MemoryController()
+        controller.read()
+        controller.writeback()
+        controller.writeback()
+        controller.return_tokens()
+        assert controller.data_reads == 1
+        assert controller.writebacks == 2
+        assert controller.token_returns == 1
+        assert controller.total_accesses == 4
+
+    def test_reset(self):
+        controller = MemoryController()
+        controller.read()
+        controller.writeback()
+        controller.reset()
+        assert controller.total_accesses == 0
+
+    def test_node_attachment(self):
+        controller = MemoryController(node=5)
+        assert controller.node == 5

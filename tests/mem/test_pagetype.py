@@ -1,0 +1,22 @@
+"""Tests for page sharing types."""
+
+from repro.mem.pagetype import PageType
+
+
+class TestPageType:
+    def test_three_types(self):
+        assert len(PageType) == 3
+
+    def test_only_rw_shared_requires_broadcast(self):
+        assert PageType.RW_SHARED.broadcast_required
+        assert not PageType.VM_PRIVATE.broadcast_required
+        # RO-shared is eligible for the Section VI optimisations, so base
+        # virtual snooping may broadcast it but is not *required* to by
+        # the enum (the filter decides).
+        assert not PageType.RO_SHARED.broadcast_required
+
+    def test_values_stable(self):
+        # Serialised in experiment outputs; renaming breaks comparisons.
+        assert PageType.VM_PRIVATE.value == "vm_private"
+        assert PageType.RW_SHARED.value == "rw_shared"
+        assert PageType.RO_SHARED.value == "ro_shared"

@@ -1,0 +1,71 @@
+"""Tests for the host page allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.physical import HostMemory, OutOfMemoryError
+
+
+class TestHostMemory:
+    def test_allocates_distinct_pages(self):
+        mem = HostMemory(8)
+        pages = [mem.allocate() for _ in range(8)]
+        assert len(set(pages)) == 8
+        assert mem.allocated_count == 8
+        assert mem.free_count == 0
+
+    def test_exhaustion_raises(self):
+        mem = HostMemory(2)
+        mem.allocate()
+        mem.allocate()
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate()
+
+    def test_free_and_reuse(self):
+        mem = HostMemory(2)
+        a = mem.allocate()
+        mem.allocate()
+        mem.free(a)
+        assert mem.allocate() == a
+
+    def test_double_free_rejected(self):
+        mem = HostMemory(2)
+        page = mem.allocate()
+        mem.free(page)
+        with pytest.raises(ValueError):
+            mem.free(page)
+
+    def test_allocate_many_all_or_nothing(self):
+        mem = HostMemory(4)
+        mem.allocate()
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate_many(4)
+        # Failed bulk allocation must not leak pages.
+        assert mem.free_count == 3
+        assert len(mem.allocate_many(3)) == 3
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            HostMemory(0)
+
+    def test_is_allocated(self):
+        mem = HostMemory(2)
+        page = mem.allocate()
+        assert mem.is_allocated(page)
+        mem.free(page)
+        assert not mem.is_allocated(page)
+
+
+@given(st.lists(st.booleans(), max_size=60))
+def test_property_alloc_free_conservation(ops):
+    """allocated + free == total after any alloc/free sequence."""
+    mem = HostMemory(16)
+    held = []
+    for do_alloc in ops:
+        if do_alloc and mem.free_count > 0:
+            held.append(mem.allocate())
+        elif held:
+            mem.free(held.pop())
+        assert mem.allocated_count + mem.free_count == 16
+        assert mem.allocated_count == len(held)

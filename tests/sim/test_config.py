@@ -1,0 +1,81 @@
+"""Tests for the simulation configuration (Table II)."""
+
+import pytest
+
+from repro.core.filter import ContentPolicy, SnoopPolicy
+from repro.sim.config import SimConfig
+
+
+class TestTable2Defaults:
+    """The defaults must encode the paper's Table II exactly."""
+
+    def test_processors(self):
+        config = SimConfig()
+        assert config.num_cores == 16
+        assert config.mesh_width == 4 and config.mesh_height == 4
+
+    def test_l1(self):
+        config = SimConfig()
+        assert config.l1_size == 32 * 1024
+        assert config.l1_ways == 4
+        assert config.block_size == 64
+        assert config.l1_latency == 2
+
+    def test_l2(self):
+        config = SimConfig()
+        assert config.l2_size == 256 * 1024
+        assert config.l2_ways == 8
+        assert config.l2_latency == 10
+
+    def test_network(self):
+        config = SimConfig()
+        assert config.link_bytes == 16
+        assert config.router_latency == 4
+
+    def test_vm_setup(self):
+        config = SimConfig()
+        assert config.num_vms == 4
+        assert config.vcpus_per_vm == 4
+
+    def test_section5_semantics(self):
+        config = SimConfig()
+        assert not config.hypervisor_activity_enabled
+        assert not config.content_sharing_enabled
+
+
+class TestValidation:
+    def test_mesh_mismatch(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_cores=12)
+
+    def test_overcommit_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_vms=5, vcpus_per_vm=4)
+
+    def test_bad_migration_period(self):
+        with pytest.raises(ValueError):
+            SimConfig(migration_period_ms=0)
+
+    def test_migration_period_cycles(self):
+        config = SimConfig(migration_period_ms=2.5, cycles_per_ms=100_000)
+        assert config.migration_period_cycles == 250_000
+        assert SimConfig().migration_period_cycles is None
+
+
+class TestDerivedConfigs:
+    def test_with_policy(self):
+        config = SimConfig().with_policy(SnoopPolicy.VSNOOP_COUNTER)
+        assert config.snoop_policy is SnoopPolicy.VSNOOP_COUNTER
+        both = SimConfig().with_policy(
+            SnoopPolicy.VSNOOP_BASE, ContentPolicy.MEMORY_DIRECT
+        )
+        assert both.content_policy is ContentPolicy.MEMORY_DIRECT
+
+    def test_real_time(self):
+        assert SimConfig().real_time(2.0).cycles_per_ms == 2_000_000
+
+    def test_migration_study_preset(self):
+        config = SimConfig.migration_study(migration_period_ms=5.0)
+        assert config.l2_size < SimConfig().l2_size
+        assert config.working_set_scale < 1.0
+        assert config.migration_period_ms == 5.0

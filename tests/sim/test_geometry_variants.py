@@ -1,0 +1,60 @@
+"""Tests for non-default system geometries."""
+
+import pytest
+
+from repro.core.filter import SnoopPolicy
+from repro.sim import SimConfig, build_system, run_simulation
+from repro.workloads import get_profile
+
+
+class TestEightCoreHost:
+    """The Figure 1 shape: 8 cores (4x2), 2 VMs x 4 vCPUs."""
+
+    def config(self, **kw):
+        defaults = dict(
+            num_cores=8, mesh_width=4, mesh_height=2,
+            num_vms=2, vcpus_per_vm=4,
+            accesses_per_vcpu=1200, warmup_accesses_per_vcpu=800,
+        )
+        defaults.update(kw)
+        return SimConfig(**defaults)
+
+    def test_runs(self):
+        system = run_simulation(build_system(self.config(), get_profile("fft")))
+        assert system.stats.total_transactions > 0
+        assert len(system.caches) == 8
+
+    def test_ideal_snoop_share_is_half(self):
+        # 2 VMs x 4 cores on 8 cores: the domain is half the machine.
+        system = run_simulation(build_system(
+            self.config(snoop_policy=SnoopPolicy.VSNOOP_BASE), get_profile("fft")
+        ))
+        ratio = system.stats.total_snoops / (8 * system.stats.total_transactions)
+        assert ratio == pytest.approx(0.5, abs=0.03)
+
+
+class TestTwoVmSixteenCores:
+    def test_underpopulated_machine(self):
+        """VMs need not cover every core; spare cores are never snooped
+        for private data."""
+        config = SimConfig(
+            num_vms=2, vcpus_per_vm=4,
+            snoop_policy=SnoopPolicy.VSNOOP_BASE,
+            accesses_per_vcpu=1200, warmup_accesses_per_vcpu=800,
+        )
+        system = run_simulation(build_system(config, get_profile("fft")))
+        ratio = system.stats.total_snoops / (16 * system.stats.total_transactions)
+        assert ratio == pytest.approx(0.25, abs=0.03)
+
+
+class TestSingleVm:
+    def test_domain_is_whole_vm(self):
+        config = SimConfig(
+            num_vms=1, vcpus_per_vm=4,
+            snoop_policy=SnoopPolicy.VSNOOP_BASE,
+            accesses_per_vcpu=800, warmup_accesses_per_vcpu=400,
+        )
+        system = run_simulation(build_system(config, get_profile("fft")))
+        assert system.stats.total_transactions > 0
+        domain = system.snoop_filter.domains.domain(system.vms[0].vm_id)
+        assert domain == frozenset(range(4))

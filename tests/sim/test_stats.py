@@ -1,0 +1,49 @@
+"""Tests for simulation-level statistics."""
+
+import pytest
+
+from repro.mem.pagetype import PageType
+from repro.sim.stats import SimStats
+from repro.workloads.trace import Initiator
+
+
+class TestDerivedMetrics:
+    def test_empty_stats_are_zero(self):
+        stats = SimStats()
+        assert stats.miss_rate() == 0.0
+        assert stats.snoops_per_transaction() == 0.0
+        assert stats.l1_access_share(PageType.RO_SHARED) == 0.0
+        assert stats.l2_miss_share(PageType.RO_SHARED) == 0.0
+
+    def test_miss_decomposition(self):
+        stats = SimStats()
+        stats.transactions_by_initiator[Initiator.GUEST] = 80
+        stats.transactions_by_initiator[Initiator.DOM0] = 15
+        stats.transactions_by_initiator[Initiator.HYPERVISOR] = 5
+        shares = stats.miss_decomposition_by_initiator()
+        assert shares[Initiator.GUEST] == pytest.approx(0.80)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_l1_access_share(self):
+        stats = SimStats()
+        stats.l1_accesses = 200
+        stats.l1_accesses_by_page_type[PageType.RO_SHARED] = 50
+        assert stats.l1_access_share(PageType.RO_SHARED) == pytest.approx(0.25)
+
+    def test_l2_miss_share_uses_transactions(self):
+        stats = SimStats()
+        stats.coherence.record_transaction(PageType.RO_SHARED, is_write=False)
+        stats.coherence.record_transaction(PageType.VM_PRIVATE, is_write=False)
+        assert stats.l2_miss_share(PageType.RO_SHARED) == pytest.approx(0.5)
+
+    def test_snoops_per_transaction(self):
+        stats = SimStats()
+        stats.coherence.record_transaction(PageType.VM_PRIVATE, is_write=False)
+        stats.coherence.record_snoops(4, PageType.VM_PRIVATE)
+        assert stats.snoops_per_transaction() == pytest.approx(4.0)
+
+    def test_miss_rate(self):
+        stats = SimStats()
+        stats.l1_accesses = 100
+        stats.coherence.record_transaction(PageType.VM_PRIVATE, is_write=False)
+        assert stats.miss_rate() == pytest.approx(0.01)

@@ -1,0 +1,83 @@
+"""Kitchen-sink stress tests: every feature enabled at once.
+
+The paper's mechanisms interact: content sharing creates RO pages whose
+COWs free host pages; migration shuffles vCPUs while residence counters
+shrink vCPU maps; counter-threshold removes cores speculatively and
+leans on TokenB retries. These tests run all of it together and assert
+the system-wide invariants hold at the end.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.filter import ContentPolicy, SnoopPolicy
+from repro.sim import SimConfig, SimulationEngine, build_system
+from repro.workloads import get_profile
+
+
+def stress_system(policy, content_policy=ContentPolicy.FRIEND_VM, seed=5):
+    profile = replace(
+        get_profile("canneal"),
+        content_write_fraction=0.005,  # force COW churn
+    )
+    config = SimConfig.migration_study(
+        snoop_policy=policy,
+        content_policy=content_policy,
+        content_sharing_enabled=True,
+        migration_period_ms=0.2,
+        accesses_per_vcpu=8_000,
+        warmup_accesses_per_vcpu=2_000,
+        seed=seed,
+    )
+    system = build_system(config, profile)
+    SimulationEngine(system).run()
+    return system
+
+
+POLICIES = [
+    SnoopPolicy.BROADCAST,
+    SnoopPolicy.VSNOOP_BASE,
+    SnoopPolicy.VSNOOP_COUNTER,
+    SnoopPolicy.VSNOOP_COUNTER_THRESHOLD,
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+def test_stress_all_features(policy):
+    system = stress_system(policy)
+    stats = system.stats
+    assert stats.total_transactions > 0
+    assert stats.migrations > 0
+    assert stats.cow_events > 0 or system.hypervisor.memory.cow_faults > 0
+    # Registry and caches stayed consistent through migrations, COWs,
+    # invalidations, page frees and speculative map removals.
+    for core, hierarchy in system.caches.items():
+        for line in hierarchy.l2.lines():
+            state = system.registry.state_of(line.block)
+            assert state is not None and core in state.sharers
+    # Residence counters stayed exact.
+    for core, hierarchy in system.caches.items():
+        actual = {}
+        for line in hierarchy.l2.lines():
+            if line.vm_id >= 0:
+                actual[line.vm_id] = actual.get(line.vm_id, 0) + 1
+        tracker = system.snoop_filter.trackers[core]
+        for vm in (1, 2, 3, 4):
+            assert tracker.count(vm) == actual.get(vm, 0)
+
+
+@pytest.mark.parametrize(
+    "content_policy", list(ContentPolicy), ids=lambda p: p.value
+)
+def test_stress_content_policies(content_policy):
+    system = stress_system(SnoopPolicy.VSNOOP_COUNTER, content_policy)
+    assert system.stats.total_transactions > 0
+
+
+def test_stress_deterministic():
+    a = stress_system(SnoopPolicy.VSNOOP_COUNTER_THRESHOLD, seed=9)
+    b = stress_system(SnoopPolicy.VSNOOP_COUNTER_THRESHOLD, seed=9)
+    assert a.stats.total_snoops == b.stats.total_snoops
+    assert a.stats.cow_events == b.stats.cow_events
+    assert a.stats.migrations == b.stats.migrations

@@ -1,0 +1,67 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "fft"
+        assert args.policy == "vsnoop-base"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_every_experiment_maps_to_module(self):
+        import importlib
+
+        for name, (module_name, _) in EXPERIMENTS.items():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "main"), name
+
+
+class TestCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out
+        assert "specweb" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--app", "fft", "--policy", "counter",
+            "--accesses", "500", "--warmup", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snoops vs broadcast" in out
+
+    def test_run_regionscout(self, capsys):
+        code = main([
+            "run", "--filter", "regionscout",
+            "--accesses", "500", "--warmup", "200",
+        ])
+        assert code == 0
+        assert "snoops" in capsys.readouterr().out
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "potential snoop reduction" in capsys.readouterr().out
+
+    def test_record_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        code = main([
+            "record-trace", "--app", "fft", "--out", str(out_file),
+            "--accesses", "25",
+        ])
+        assert code == 0
+        from repro.workloads.tracefile import load_trace
+
+        assert len(load_trace(out_file)) == 100  # 25 x 4 vCPUs

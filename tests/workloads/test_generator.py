@@ -1,0 +1,144 @@
+"""Tests for the synthetic workload generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generator import (
+    CONTENT_HOT_BASE,
+    CONTENT_STREAM_BASE,
+    PRIVATE_BASE,
+    PRIVATE_VCPU_STRIDE,
+    VmWorkload,
+    solve_category_mix,
+    solve_category_probabilities,
+)
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Initiator
+
+
+class TestSolver:
+    def test_probabilities_sum_to_one(self):
+        for app in ("fft", "blackscholes", "oltp"):
+            probabilities = solve_category_probabilities(get_profile(app))
+            assert sum(probabilities) == pytest.approx(1.0)
+
+    def test_stream_mass_equals_miss_rate(self):
+        profile = get_profile("fft")
+        p = solve_category_probabilities(profile)
+        # content_stream + hyp + dom0 + shared_stream + private_stream +
+        # ping-pong reserve == target miss rate.
+        mix = solve_category_mix(profile)
+        stream_mass = p[0] + p[2] + p[3] + p[4] + p[6]
+        assert stream_mass <= profile.miss_rate + 1e-9
+        assert stream_mass >= 0.5 * profile.miss_rate
+
+    def test_excluding_hypervisor_folds_mass(self):
+        profile = get_profile("oltp")
+        with_hyp = solve_category_probabilities(profile, include_hypervisor=True)
+        without = solve_category_probabilities(profile, include_hypervisor=False)
+        assert without[2] == 0.0 and without[3] == 0.0
+        assert sum(without) == pytest.approx(1.0)
+
+    def test_shared_write_fraction_capped_for_low_miss_apps(self):
+        mix = solve_category_mix(get_profile("blackscholes"))
+        assert mix.shared_write_fraction < get_profile("blackscholes").shared_write_fraction
+
+
+class TestStreams:
+    def test_deterministic_for_seed(self):
+        a = VmWorkload(get_profile("fft"), 1, 4, seed=5)
+        b = VmWorkload(get_profile("fft"), 1, 4, seed=5)
+        assert [a.next_access(0) for _ in range(50)] == [
+            b.next_access(0) for _ in range(50)
+        ]
+
+    def test_different_vms_different_streams(self):
+        a = VmWorkload(get_profile("fft"), 1, 4, seed=5)
+        b = VmWorkload(get_profile("fft"), 2, 4, seed=5)
+        assert [a.next_access(0) for _ in range(50)] != [
+            b.next_access(0) for _ in range(50)
+        ]
+
+    def test_access_fields_valid(self):
+        workload = VmWorkload(get_profile("specjbb"), 3, 4, seed=1)
+        for _ in range(2000):
+            access = workload.next_access(2)
+            assert access.vm_id == 3
+            assert access.vcpu_index == 2
+            assert 0 <= access.block_index < 64
+            assert access.guest_page >= 0
+
+    def test_private_pages_are_per_vcpu(self):
+        workload = VmWorkload(get_profile("fft"), 1, 4, seed=1)
+        for vcpu in range(4):
+            for access in workload.stream(vcpu, 500):
+                if access.guest_page >= PRIVATE_BASE:
+                    slot = (access.guest_page - PRIVATE_BASE) // PRIVATE_VCPU_STRIDE
+                    assert slot == vcpu
+
+    def test_content_access_fraction_statistical(self):
+        profile = get_profile("blackscholes")
+        workload = VmWorkload(profile, 1, 4, seed=2)
+        total, content = 0, 0
+        for vcpu in range(4):
+            for access in workload.stream(vcpu, 3000):
+                total += 1
+                if CONTENT_HOT_BASE <= access.guest_page < PRIVATE_BASE // 2:
+                    content += 1
+        assert content / total == pytest.approx(
+            profile.content_access_fraction, rel=0.1
+        )
+
+    def test_hypervisor_initiator_present_when_enabled(self):
+        workload = VmWorkload(get_profile("oltp"), 1, 4, seed=2, include_hypervisor=True)
+        initiators = Counter(a.initiator for a in workload.stream(0, 30000))
+        assert initiators[Initiator.HYPERVISOR] > 0
+        assert initiators[Initiator.DOM0] > 0
+
+    def test_hypervisor_absent_when_disabled(self):
+        workload = VmWorkload(get_profile("oltp"), 1, 4, seed=2, include_hypervisor=False)
+        initiators = Counter(a.initiator for a in workload.stream(0, 20000))
+        assert initiators[Initiator.HYPERVISOR] == 0
+        assert initiators[Initiator.DOM0] == 0
+
+
+class TestContentPages:
+    def test_labels_identical_across_vms(self):
+        a = VmWorkload(get_profile("fft"), 1, 4, seed=1)
+        b = VmWorkload(get_profile("fft"), 2, 4, seed=1)
+        assert list(a.content_pages()) == list(b.content_pages())
+
+    def test_content_pages_cover_both_pools(self):
+        workload = VmWorkload(get_profile("fft"), 1, 4, seed=1)
+        pages = dict(workload.content_pages())
+        hot = [p for p in pages if p < CONTENT_STREAM_BASE]
+        stream = [p for p in pages if p >= CONTENT_STREAM_BASE]
+        assert hot and stream
+
+    def test_working_set_scale_shrinks_pools(self):
+        full = VmWorkload(get_profile("fft"), 1, 4, seed=1)
+        scaled = VmWorkload(get_profile("fft"), 1, 4, seed=1, working_set_scale=0.25)
+        assert scaled.content_stream_pages < full.content_stream_pages
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            VmWorkload(get_profile("fft"), 1, 4, working_set_scale=0)
+
+
+class TestCoverageSizing:
+    def test_low_traffic_pools_shrink_to_stay_warm(self):
+        profile = get_profile("cholesky")  # 1.45% content accesses
+        workload = VmWorkload(profile, 1, 4, seed=1, coverage_accesses=6000)
+        # Pool must be touched ~3x per core within the warm-up budget.
+        assert workload.content_hot_blocks <= 6000 * 0.0145 / 3 + 16
+
+    def test_paired_stream_phases(self):
+        profile = get_profile("canneal")
+        phases = [
+            VmWorkload(profile, vm, 4, seed=1).content_stream_phase
+            for vm in (1, 2, 3, 4)
+        ]
+        # Pair members are close; pairs are half a region apart.
+        assert abs(phases[0] - phases[1]) < profile.content_stream_pages // 4
+        assert abs(phases[0] - phases[2]) >= profile.content_stream_pages // 4

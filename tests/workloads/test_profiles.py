@@ -1,0 +1,89 @@
+"""Tests for the application profile catalogue."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    COHERENCE_APPS,
+    CONTENT_APPS,
+    FIG1_APPS,
+    PARSEC_APPS,
+    PROFILES,
+    AppProfile,
+    get_profile,
+)
+
+
+class TestCatalogue:
+    def test_all_experiment_apps_present(self):
+        for app in set(COHERENCE_APPS) | set(CONTENT_APPS) | set(FIG1_APPS):
+            assert app in PROFILES
+
+    def test_coherence_apps_match_paper(self):
+        assert COHERENCE_APPS == [
+            "cholesky", "fft", "lu", "ocean", "radix",
+            "blackscholes", "canneal", "dedup", "ferret", "specjbb",
+        ]
+
+    def test_content_apps_exclude_dedup(self):
+        assert "dedup" not in CONTENT_APPS
+        assert len(CONTENT_APPS) == 9
+
+    def test_thirteen_parsec_apps(self):
+        assert len(PARSEC_APPS) == 13
+
+    def test_fig1_adds_servers(self):
+        assert FIG1_APPS[-2:] == ["oltp", "specweb"]
+
+    def test_get_profile_error_message(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_profile("doom")
+
+
+class TestPaperTargets:
+    """The calibrated targets must encode the paper's measurements."""
+
+    def test_table5_targets(self):
+        fft = get_profile("fft")
+        assert fft.content_access_fraction == pytest.approx(0.0543)
+        assert fft.content_miss_share == pytest.approx(0.3064)
+        blackscholes = get_profile("blackscholes")
+        assert blackscholes.content_access_fraction == pytest.approx(0.4616)
+        canneal = get_profile("canneal")
+        assert canneal.content_miss_share == pytest.approx(0.5149)
+
+    def test_fig1_targets_under_20_percent(self):
+        for app in FIG1_APPS:
+            assert get_profile(app).hyp_dom0_miss_share < 0.20
+
+    def test_fig1_io_apps_have_higher_shares(self):
+        compute = get_profile("blackscholes").hyp_dom0_miss_share
+        assert get_profile("oltp").hyp_dom0_miss_share > compute
+        assert get_profile("specweb").hyp_dom0_miss_share > compute
+        assert get_profile("dedup").hyp_dom0_miss_share > compute
+
+    def test_table1_cpu_bound_apps_have_long_bursts(self):
+        for app in ("blackscholes", "swaptions", "freqmine"):
+            assert get_profile(app).run_burst_ms > 100
+        for app in ("dedup", "vips"):
+            assert get_profile(app).run_burst_ms < 5
+
+
+class TestValidation:
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="x", suite="parsec", miss_rate=1.5)
+
+    def test_rejects_excess_miss_shares(self):
+        with pytest.raises(ValueError):
+            AppProfile(
+                name="x", suite="parsec",
+                content_miss_share=0.6, hyp_miss_share=0.3, dom0_miss_share=0.2,
+            )
+
+    def test_rejects_content_misses_exceeding_accesses(self):
+        with pytest.raises(ValueError):
+            AppProfile(
+                name="x", suite="parsec",
+                miss_rate=0.5, content_access_fraction=0.01,
+                content_miss_share=0.9,
+            )

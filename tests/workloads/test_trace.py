@@ -1,0 +1,23 @@
+"""Tests for trace records."""
+
+from repro.workloads.trace import Initiator, MemoryAccess
+
+
+class TestMemoryAccess:
+    def test_fields(self):
+        access = MemoryAccess(1, 2, Initiator.GUEST, 100, 5, True)
+        assert access.vm_id == 1
+        assert access.vcpu_index == 2
+        assert access.initiator is Initiator.GUEST
+        assert access.guest_page == 100
+        assert access.block_index == 5
+        assert access.is_write
+
+    def test_is_tuple(self):
+        # NamedTuple: cheap, hashable, comparable — engines generate millions.
+        access = MemoryAccess(1, 2, Initiator.DOM0, 100, 5, False)
+        assert isinstance(access, tuple)
+        assert access == MemoryAccess(1, 2, Initiator.DOM0, 100, 5, False)
+
+    def test_three_initiators(self):
+        assert {i.value for i in Initiator} == {"guest", "dom0", "hypervisor"}
