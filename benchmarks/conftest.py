@@ -4,16 +4,89 @@ Each benchmark regenerates one of the paper's tables or figures, prints
 it, and asserts the shape claims the paper makes. Benchmarks run once
 (``rounds=1``) — they measure full experiment campaigns, not
 microseconds.
+
+At session end the harness writes ``benchmarks/results/BENCH_<rev>.json``
+with per-test wall-clock durations and the campaigns' headline metrics —
+a regression guard: diff two revisions' files to see whether a change
+moved runtimes or, worse, results. If a previous revision's file exists,
+the total-duration ratio is printed as a quick signal.
 """
 
+import json
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 # Make the sibling `_shared` module importable regardless of rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_durations = {}
 
 
 def emit(text: str) -> None:
     """Print a regenerated table/figure so `pytest -s` shows it."""
     print()
     print(text)
+
+
+def _current_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _durations[report.nodeid] = round(report.duration, 3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _durations:
+        return
+    import os
+
+    import _shared
+    from repro.sim import default_jobs
+
+    rev = _current_rev()
+    payload = {
+        "rev": rev,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "fast_mode": os.environ.get("REPRO_FAST", "") not in ("", "0"),
+        "jobs": default_jobs(),
+        "total_duration_s": round(sum(_durations.values()), 3),
+        "durations_s": dict(sorted(_durations.items())),
+        "headlines": _shared.headline_metrics(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / f"BENCH_{rev}.json"
+    out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    previous = [
+        p for p in sorted(RESULTS_DIR.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime)
+        if p != out_path
+    ]
+    line = f"bench guard: wrote {out_path}"
+    if previous:
+        try:
+            prior = json.loads(previous[-1].read_text())
+            prior_total = prior.get("total_duration_s") or 0.0
+            if prior_total and prior.get("fast_mode") == payload["fast_mode"]:
+                ratio = payload["total_duration_s"] / prior_total
+                line += (
+                    f" (total {payload['total_duration_s']}s, "
+                    f"{ratio:.2f}x of {prior.get('rev')})"
+                )
+        except (ValueError, OSError):
+            pass
+    print()
+    print(line)

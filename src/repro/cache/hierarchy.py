@@ -20,7 +20,7 @@ from repro.cache.setassoc import CacheObserver, SetAssociativeCache
 class AccessResult:
     """Outcome of a local hierarchy access (before any coherence action)."""
 
-    __slots__ = ("level", "latency")
+    __slots__ = ("level", "latency", "hit")
 
     L1 = "l1"
     L2 = "l2"
@@ -29,10 +29,9 @@ class AccessResult:
     def __init__(self, level: str, latency: int) -> None:
         self.level = level
         self.latency = latency
-
-    @property
-    def hit(self) -> bool:
-        return self.level != AccessResult.MISS
+        # Plain attribute, not a property: `hit` is read on every access
+        # and a Python-level property call would dominate the fast path.
+        self.hit = level != AccessResult.MISS
 
     def __repr__(self) -> str:
         return f"AccessResult({self.level}, {self.latency}cyc)"
@@ -63,6 +62,26 @@ class PrivateHierarchy:
         self.l1_hits = 0
         self.l2_hits = 0
         self.misses = 0
+        # The three possible access outcomes are value-identical for the
+        # hierarchy's lifetime; reusing them avoids one allocation per
+        # simulated access (callers never mutate results).
+        self._l1_result = AccessResult(AccessResult.L1, l1_latency)
+        self._l2_result = AccessResult(AccessResult.L2, l1_latency + l2_latency)
+        self._miss_result = AccessResult(AccessResult.MISS, l1_latency + l2_latency)
+        # Direct references into both caches' set arrays: `access` is the
+        # per-simulated-access hot path and routing every lookup through
+        # SetAssociativeCache.lookup costs a Python call per level. The
+        # set list and mask are fixed for the cache's lifetime.
+        self._l1_sets = self.l1._sets
+        self._l1_mask = self.l1._set_mask
+        self._l1_ways = self.l1.ways
+        self._l2_sets = self.l2._sets
+        self._l2_mask = self.l2._set_mask
+        self._l2_ways = self.l2.ways
+        self._l2_observer = self.l2.observer
+        # The inlined L1 promote in `access` assumes the L1 carries no
+        # observer (only the L2 has one — the residence counters).
+        assert self.l1.observer is None
 
     def access(self, block: int, vm_id: int, is_write: bool) -> AccessResult:
         """Look up ``block`` locally, updating recency and hit counters.
@@ -70,23 +89,34 @@ class PrivateHierarchy:
         On an L2 hit the block is promoted into the L1. A miss performs no
         allocation — the caller runs the coherence transaction and then
         calls :meth:`fill`.
+
+        Inlined equivalent of ``l1.lookup`` / ``l2.lookup`` (see __init__).
         """
-        l1_line = self.l1.lookup(block)
+        l1_set = self._l1_sets[block & self._l1_mask]
+        l1_line = l1_set.get(block)
         if l1_line is not None:
+            l1_set.move_to_end(block)
             self.l1_hits += 1
             if is_write:
                 l1_line.dirty = True
                 self.l2.mark_dirty(block)
-            return AccessResult(AccessResult.L1, self.l1_latency)
-        l2_line = self.l2.lookup(block)
+            return self._l1_result
+        l2_set = self._l2_sets[block & self._l2_mask]
+        l2_line = l2_set.get(block)
         if l2_line is not None:
+            l2_set.move_to_end(block)
             self.l2_hits += 1
             if is_write:
                 l2_line.dirty = True
-            self.l1.insert(block, vm_id, dirty=is_write)
-            return AccessResult(AccessResult.L2, self.l1_latency + self.l2_latency)
+            # Inlined `l1.insert` for the promote: the block is known
+            # absent (the L1 lookup above missed), the L1 has no observer,
+            # and its victim is dropped silently under inclusion.
+            if len(l1_set) >= self._l1_ways:
+                l1_set.popitem(last=False)
+            l1_set[block] = CacheLine(block, vm_id, is_write)
+            return self._l2_result
         self.misses += 1
-        return AccessResult(AccessResult.MISS, self.l1_latency + self.l2_latency)
+        return self._miss_result
 
     def fill(self, block: int, vm_id: int, dirty: bool = False) -> Optional[CacheLine]:
         """Install ``block`` after a coherence transaction completed.

@@ -108,7 +108,7 @@ class SetAssociativeCache:
 
         ``touch`` updates LRU recency on a hit.
         """
-        cache_set = self._set_for(block)
+        cache_set = self._sets[block & self._set_mask]
         line = cache_set.get(block)
         if line is not None and touch:
             cache_set.move_to_end(block)
@@ -123,7 +123,7 @@ class SetAssociativeCache:
         If the block is already resident its metadata is refreshed in
         place (no eviction, no insert event).
         """
-        cache_set = self._set_for(block)
+        cache_set = self._sets[block & self._set_mask]
         existing = cache_set.get(block)
         if existing is not None:
             # Refresh recency/dirtiness but keep the allocating VM's tag:

@@ -6,11 +6,17 @@ Subcommands:
 * ``run`` — one coherence simulation, with policy/migration knobs.
 * ``experiment`` — regenerate a paper table/figure by name.
 * ``record-trace`` — capture a synthetic workload to a trace file.
+* ``profile`` — run one simulation under cProfile and print hotspots.
+
+``--jobs N`` (or ``REPRO_JOBS``; ``auto`` = one per CPU) fans experiment
+matrices out over worker processes — results are bit-identical at any
+job count, only wall-clock time changes.
 
 Examples::
 
     repro-sim run --app fft --policy counter --migration-ms 2.5
-    repro-sim experiment fig2
+    repro-sim --jobs auto experiment fig7
+    repro-sim profile --app ocean --migration-ms 2.5 --top 15
     repro-sim record-trace --app canneal --out canneal.trace
 """
 
@@ -50,40 +56,61 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Virtual Snooping (MICRO 2010) reproduction toolkit",
     )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="worker processes for experiment matrices (N, or 'auto' for "
+        "one per CPU; overrides REPRO_JOBS; default: serial)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-apps", help="list the application profile catalogue")
 
+    def add_sim_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--app", default="fft", help="application profile name")
+        cmd.add_argument(
+            "--policy",
+            default=SnoopPolicy.VSNOOP_BASE.value,
+            choices=sorted(_POLICY_NAMES),
+            help="snoop filter policy",
+        )
+        cmd.add_argument(
+            "--content-policy",
+            default=ContentPolicy.BROADCAST.value,
+            choices=sorted(_CONTENT_NAMES),
+            help="policy for content-shared (RO) pages",
+        )
+        cmd.add_argument("--filter", default="vsnoop",
+                         choices=("vsnoop", "regionscout"))
+        cmd.add_argument("--migration-ms", type=float, default=None,
+                         help="vCPU shuffle period in (scaled) milliseconds")
+        cmd.add_argument("--content-sharing", action="store_true",
+                         help="enable the content-based page sharing scan")
+        cmd.add_argument("--hypervisor", action="store_true",
+                         help="enable hypervisor/dom0 activity")
+        cmd.add_argument("--accesses", type=int, default=10_000,
+                         help="measured accesses per vCPU")
+        cmd.add_argument("--warmup", type=int, default=6_000,
+                         help="warm-up accesses per vCPU")
+        cmd.add_argument("--seed", type=int, default=42)
+
     run = sub.add_parser("run", help="run one coherence simulation")
-    run.add_argument("--app", default="fft", help="application profile name")
-    run.add_argument(
-        "--policy",
-        default=SnoopPolicy.VSNOOP_BASE.value,
-        choices=sorted(_POLICY_NAMES),
-        help="snoop filter policy",
-    )
-    run.add_argument(
-        "--content-policy",
-        default=ContentPolicy.BROADCAST.value,
-        choices=sorted(_CONTENT_NAMES),
-        help="policy for content-shared (RO) pages",
-    )
-    run.add_argument("--filter", default="vsnoop", choices=("vsnoop", "regionscout"))
-    run.add_argument("--migration-ms", type=float, default=None,
-                     help="vCPU shuffle period in (scaled) milliseconds")
-    run.add_argument("--content-sharing", action="store_true",
-                     help="enable the content-based page sharing scan")
-    run.add_argument("--hypervisor", action="store_true",
-                     help="enable hypervisor/dom0 activity")
-    run.add_argument("--accesses", type=int, default=10_000,
-                     help="measured accesses per vCPU")
-    run.add_argument("--warmup", type=int, default=6_000,
-                     help="warm-up accesses per vCPU")
-    run.add_argument("--seed", type=int, default=42)
+    add_sim_args(run)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), metavar="name",
                             help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+
+    profile = sub.add_parser(
+        "profile", help="run one simulation under cProfile and print hotspots"
+    )
+    add_sim_args(profile)
+    profile.add_argument("--top", type=int, default=20,
+                         help="number of hotspot rows to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"),
+                         help="profile sort order")
 
     record = sub.add_parser("record-trace", help="capture a synthetic trace")
     record.add_argument("--app", default="fft")
@@ -114,10 +141,10 @@ def cmd_list_apps() -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    from repro.sim import SimConfig, build_system, run_simulation
+def _config_from_args(args: argparse.Namespace):
+    from repro.sim import SimConfig
 
-    config = SimConfig(
+    return SimConfig(
         filter_kind=args.filter,
         snoop_policy=_POLICY_NAMES[args.policy],
         content_policy=_CONTENT_NAMES[args.content_policy],
@@ -128,6 +155,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         warmup_accesses_per_vcpu=args.warmup,
         seed=args.seed,
     )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim import build_system, run_simulation
+
+    config = _config_from_args(args)
     system = build_system(config, get_profile(args.app))
     run_simulation(system)
     stats = system.stats
@@ -156,6 +189,38 @@ def cmd_experiment(name: str) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one simulation under cProfile; print the top-N hotspots."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    from repro.sim import build_system, run_simulation
+
+    config = _config_from_args(args)
+    system = build_system(config, get_profile(args.app))
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    run_simulation(system)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    stats = system.stats
+    accesses = max(stats.l1_accesses, 1)
+    print()
+    print(
+        f"{args.app} / {args.policy}: {stats.l1_accesses} accesses in "
+        f"{elapsed:.2f}s under the profiler "
+        f"({1e6 * elapsed / accesses:.2f} us/access; expect ~2x faster "
+        f"unprofiled)"
+    )
+    return 0
+
+
 def cmd_record_trace(args: argparse.Namespace) -> int:
     from repro.workloads.generator import VmWorkload
     from repro.workloads.tracefile import record_workload, save_trace
@@ -170,13 +235,24 @@ def cmd_record_trace(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None:
+        from repro.sim import set_default_jobs
+        from repro.sim.runner import parse_jobs
+
+        try:
+            set_default_jobs(parse_jobs(args.jobs))
+        except ValueError as exc:
+            parser.error(str(exc))
     if args.command == "list-apps":
         return cmd_list_apps()
     if args.command == "run":
         return cmd_run(args)
     if args.command == "experiment":
         return cmd_experiment(args.name)
+    if args.command == "profile":
+        return cmd_profile(args)
     if args.command == "record-trace":
         return cmd_record_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

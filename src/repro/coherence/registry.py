@@ -99,7 +99,8 @@ class TokenRegistry:
         return (
             state is not None
             and state.owner == core
-            and state.sharers == {core}
+            and len(state.sharers) == 1
+            and core in state.sharers
         )
 
     def write_hit(self, core: int, block: int) -> bool:
@@ -109,8 +110,15 @@ class TokenRegistry:
         silent in MOESI), so hypervisor-initiated flushes know memory is
         stale. Returns whether the write may proceed without a GETM.
         """
+        # `len == 1 and core in` avoids building a one-element set per call
+        # (this check runs for every simulated store that hits locally).
         state = self._blocks.get(block)
-        if state is not None and state.owner == core and state.sharers == {core}:
+        if (
+            state is not None
+            and state.owner == core
+            and len(state.sharers) == 1
+            and core in state.sharers
+        ):
             state.dirty = True
             return True
         return False
@@ -149,7 +157,13 @@ class TokenRegistry:
         previous sharers except the requester).
         """
         state = self._get_or_create(block)
-        invalidate = {c for c in state.sharers if c != core}
+        sharers = state.sharers
+        # Fast path: no other sharer to invalidate (the overwhelmingly
+        # common outcome — E-state grants and upgrades by the sole holder).
+        if not sharers or (len(sharers) == 1 and core in sharers):
+            invalidate: Set[int] = set()
+        else:
+            invalidate = {c for c in sharers if c != core}
         state.sharers = {core}
         state.owner = core
         state.dirty = dirty

@@ -15,7 +15,7 @@ from typing import Dict
 from repro.mem.pagetype import PageType
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceStats:
     """Cumulative protocol counters for one simulation."""
 

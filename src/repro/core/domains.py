@@ -56,6 +56,10 @@ class SnoopDomainTable:
         self._pending_since: Dict[Tuple[int, int], int] = {}
         self.removal_log: List[RemovalRecord] = []
         self.map_updates = 0
+        # Monotonic epoch, bumped on every domain-content change. Plan
+        # caches key their validity on it: any vCPU placement, removal or
+        # other map edit invalidates memoised destination sets.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Queries.
@@ -123,6 +127,7 @@ class SnoopDomainTable:
         return True
 
     def _notify(self, vm_id: int) -> None:
+        self.version += 1
         self.map_updates += 1
         if self._sync_hook is not None:
             self._sync_hook(vm_id, self.domain(vm_id))

@@ -89,6 +89,12 @@ class VirtualSnoopFilter(PlacementListener):
             for core in range(num_cores)
         }
         self._friends: Dict[int, int] = {}
+        # Memoised plans keyed by (core, vm_id, page_type). Plans depend
+        # only on those three inputs plus the snoop-domain table and the
+        # friend map; the cache is invalidated whenever either changes
+        # (the table carries a version epoch bumped on every map edit).
+        self._plan_cache: Dict[tuple, RequestPlan] = {}
+        self._plan_cache_version = self.domains.version
 
     # ------------------------------------------------------------------
     # Friend-VM configuration.
@@ -99,6 +105,7 @@ class VirtualSnoopFilter(PlacementListener):
         if vm_id == friend_vm_id:
             raise ValueError("a VM cannot be its own friend")
         self._friends[vm_id] = friend_vm_id
+        self._plan_cache.clear()
 
     def friend_of(self, vm_id: int) -> Optional[int]:
         return self._friends.get(vm_id)
@@ -118,8 +125,24 @@ class VirtualSnoopFilter(PlacementListener):
 
         ``block`` is part of the shared filter interface (region-based
         baselines key on it); virtual snooping filters purely on the VM
-        and the page's sharing type.
+        and the page's sharing type — which makes plans memoisable per
+        (core, vm_id, page_type) until a vCPU map or the friend table
+        changes.
         """
+        version = self.domains.version
+        if version != self._plan_cache_version:
+            self._plan_cache.clear()
+            self._plan_cache_version = version
+        key = (core, vm_id, page_type)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(core, vm_id, page_type)
+            self._plan_cache[key] = plan
+        return plan
+
+    def _build_plan(
+        self, core: int, vm_id: int, page_type: PageType
+    ) -> RequestPlan:
         if self.policy is SnoopPolicy.BROADCAST:
             if page_type is PageType.RO_SHARED:
                 return self._ro_plan(core, vm_id, (self.all_cores,), (GLOBAL_PROVIDER,))

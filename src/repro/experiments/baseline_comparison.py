@@ -19,11 +19,11 @@ from repro.analysis.tables import render_table
 from repro.core.filter import SnoopPolicy
 from repro.experiments.common import (
     normalized_snoops_percent,
-    run_app,
+    run_tasks,
     scaled,
     select_apps,
 )
-from repro.sim import SimConfig
+from repro.sim import SimConfig, SimTask
 
 DEFAULT_APPS = ["fft", "ocean", "radix", "canneal", "specjbb"]
 
@@ -42,18 +42,24 @@ def run(apps: Optional[List[str]] = None, seed: int = 42) -> Dict[str, Dict[str,
     """app -> {vsnoop_pinned, vsnoop_migrating, regionscout_pinned,
     regionscout_migrating} — snoops, % of TokenB."""
     apps = select_apps(DEFAULT_APPS if apps is None else apps)
+    variants = (
+        ("vsnoop_pinned", "vsnoop", None),
+        ("vsnoop_migrating", "vsnoop", 0.1),
+        ("regionscout_pinned", "regionscout", None),
+        ("regionscout_migrating", "regionscout", 0.1),
+    )
+    tasks = []
+    for app in apps:
+        for _, filter_kind, period in variants:
+            config = _config(filter_kind, SnoopPolicy.VSNOOP_COUNTER, period, seed)
+            tasks.append(SimTask(config, app))
+    pairs = iter(zip(tasks, run_tasks(tasks)))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
         row: Dict[str, float] = {}
-        for label, filter_kind, period in (
-            ("vsnoop_pinned", "vsnoop", None),
-            ("vsnoop_migrating", "vsnoop", 0.1),
-            ("regionscout_pinned", "regionscout", None),
-            ("regionscout_migrating", "regionscout", 0.1),
-        ):
-            config = _config(filter_kind, SnoopPolicy.VSNOOP_COUNTER, period, seed)
-            stats = run_app(config, app)
-            row[label] = normalized_snoops_percent(stats, config.num_cores)
+        for label, _, _ in variants:
+            task, stats = next(pairs)
+            row[label] = normalized_snoops_percent(stats, task.config.num_cores)
         results[app] = row
     return results
 

@@ -4,6 +4,12 @@ Every driver returns plain dicts/lists so tests and the benchmark
 harness can assert on them, and exposes a ``main()`` that prints the
 same rows/series the paper's figure or table reports.
 
+Drivers fan their simulation matrices out through
+:mod:`repro.sim.runner`: build the full (config, app) task list, run it
+with :func:`run_tasks`, and zip the (input-ordered) results back. The
+job count comes from ``repro-sim --jobs`` / ``REPRO_JOBS``; results are
+bit-identical at any job count.
+
 Set ``REPRO_FAST=1`` to shrink run lengths (quarter-size traces, subset
 of applications) for quick smoke runs of the benchmark suite.
 """
@@ -11,10 +17,9 @@ of applications) for quick smoke runs of the benchmark suite.
 from __future__ import annotations
 
 import os
-from typing import List
+from typing import List, Optional, Sequence
 
-from repro.sim import SimConfig, SimStats, build_system, run_simulation
-from repro.workloads import AppProfile, get_profile
+from repro.sim import SimConfig, SimStats, SimTask, run_matrix, run_simulation_task
 
 
 def fast_mode() -> bool:
@@ -34,10 +39,14 @@ def select_apps(apps: List[str], fast_subset: int = 3) -> List[str]:
 
 def run_app(config: SimConfig, app: str) -> SimStats:
     """Build, run, and return the statistics of one configuration."""
-    profile = get_profile(app)
-    system = build_system(config, profile)
-    run_simulation(system)
-    return system.stats
+    return run_simulation_task(SimTask(config, app))
+
+
+def run_tasks(
+    tasks: Sequence[SimTask], jobs: Optional[int] = None
+) -> List[SimStats]:
+    """Run a driver's task matrix; results align index-for-index."""
+    return run_matrix(tasks, jobs=jobs)
 
 
 def normalized_snoops_percent(stats: SimStats, num_cores: int) -> float:
@@ -51,7 +60,3 @@ def normalized_snoops_percent(stats: SimStats, num_cores: int) -> float:
     if transactions == 0:
         return 0.0
     return 100.0 * stats.total_snoops / (num_cores * transactions)
-
-
-def resolve_profile(app: str) -> AppProfile:
-    return get_profile(app)

@@ -24,12 +24,12 @@ from repro.analysis.tables import render_table
 from repro.core.filter import ContentPolicy, SnoopPolicy
 from repro.experiments.common import (
     normalized_snoops_percent,
-    run_app,
+    run_tasks,
     scaled,
     select_apps,
 )
 from repro.mem.pagetype import PageType
-from repro.sim import SimConfig
+from repro.sim import SimConfig, SimTask
 from repro.workloads import CONTENT_APPS
 
 CONTENT_POLICIES = (
@@ -58,9 +58,11 @@ def run_sharing_stats(
 ) -> Dict[str, Dict[str, float]]:
     """Tables V and VI from one vsnoop-broadcast run per app."""
     apps = select_apps(CONTENT_APPS if apps is None else apps)
+    tasks = [
+        SimTask(content_config(ContentPolicy.BROADCAST, seed), app) for app in apps
+    ]
     results: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        stats = run_app(content_config(ContentPolicy.BROADCAST, seed), app)
+    for app, stats in zip(apps, run_tasks(tasks)):
         ro_misses = max(stats.coherence.ro_misses, 1)
         results[app] = {
             # Table V
@@ -80,11 +82,17 @@ def run_policy_comparison(
 ) -> Dict[str, Dict[str, float]]:
     """Figure 10: app -> content-policy name -> normalised snoops (%)."""
     apps = select_apps(CONTENT_APPS if apps is None else apps)
+    tasks = [
+        SimTask(content_config(policy, seed), app)
+        for app in apps
+        for policy in CONTENT_POLICIES
+    ]
+    all_stats = iter(run_tasks(tasks))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
         results[app] = {}
         for policy in CONTENT_POLICIES:
-            stats = run_app(content_config(policy, seed), app)
+            stats = next(all_stats)
             results[app][policy.value] = normalized_snoops_percent(stats, 16)
     return results
 

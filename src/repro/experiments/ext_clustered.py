@@ -21,9 +21,17 @@ from repro.analysis.tables import render_table
 from repro.experiments.common import select_apps
 from repro.experiments.sched_study import OVERCOMMITTED_VMS
 from repro.hypervisor.scheduler import CreditSchedulerSim, SchedulerConfig
+from repro.sim import parallel_map
 from repro.workloads import PARSEC_APPS, get_profile
 
 POLICIES = ("pinned", "clustered", "credit")
+
+
+def _run_cell(args):
+    """Picklable worker: one (app, policy, cluster_factor, num_vms, seed) cell."""
+    app, policy, cluster_factor, num_vms, seed = args
+    config = SchedulerConfig(policy=policy, cluster_factor=cluster_factor, seed=seed)
+    return CreditSchedulerSim(config, get_profile(app), num_vms=num_vms).run()
 
 
 def run(
@@ -34,15 +42,20 @@ def run(
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """app -> policy -> {wall_ms, migrations, domain_bound_cores}."""
     apps = select_apps(PARSEC_APPS if apps is None else apps)
+    cells = [
+        (app, policy, cluster_factor, num_vms, seed)
+        for app in apps
+        for policy in POLICIES
+    ]
+    outcomes = iter(parallel_map(_run_cell, cells))
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for app in apps:
-        profile = get_profile(app)
         results[app] = {}
         for policy in POLICIES:
             config = SchedulerConfig(
                 policy=policy, cluster_factor=cluster_factor, seed=seed
             )
-            outcome = CreditSchedulerSim(config, profile, num_vms=num_vms).run()
+            outcome = next(outcomes)
             if policy == "pinned":
                 bound = 4  # one core per vCPU
             elif policy == "clustered":

@@ -16,8 +16,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.tables import render_table
-from repro.experiments.common import run_app, scaled, select_apps
-from repro.sim import SimConfig
+from repro.experiments.common import run_tasks, scaled, select_apps
+from repro.sim import SimConfig, SimTask
 from repro.workloads import FIG1_APPS
 from repro.workloads.trace import Initiator
 
@@ -41,9 +41,9 @@ def fig1_config(app_seed: int = 42) -> SimConfig:
 def run(apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     """Per-app miss decomposition, in percent of coherence transactions."""
     apps = select_apps(FIG1_APPS if apps is None else apps)
+    tasks = [SimTask(fig1_config(), app) for app in apps]
     results: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        stats = run_app(fig1_config(), app)
+    for app, stats in zip(apps, run_tasks(tasks)):
         shares = stats.miss_decomposition_by_initiator()
         results[app] = {
             "guest": 100.0 * shares[Initiator.GUEST],

@@ -24,11 +24,11 @@ from repro.analysis.tables import render_table
 from repro.core.filter import SnoopPolicy
 from repro.experiments.common import (
     normalized_snoops_percent,
-    run_app,
+    run_tasks,
     scaled,
     select_apps,
 )
-from repro.sim import SimConfig
+from repro.sim import SimConfig, SimTask
 from repro.workloads import COHERENCE_APPS
 
 FIG7_PERIODS_MS = (5.0, 2.5)
@@ -60,6 +60,13 @@ def run(
 ) -> Dict[str, Dict[float, Dict[str, Dict[str, object]]]]:
     """app -> period -> policy-name -> {snoops_norm_pct, removal_periods_ms}."""
     apps = select_apps(COHERENCE_APPS if apps is None else apps)
+    tasks = [
+        SimTask(migration_config(policy, period, seed), app)
+        for app in apps
+        for period in periods_ms
+        for policy in policies
+    ]
+    all_stats = iter(run_tasks(tasks))
     results: Dict[str, Dict[float, Dict[str, Dict[str, object]]]] = {}
     for app in apps:
         results[app] = {}
@@ -67,7 +74,7 @@ def run(
             results[app][period] = {}
             for policy in policies:
                 config = migration_config(policy, period, seed)
-                stats = run_app(config, app)
+                stats = next(all_stats)
                 removal_ms = [
                     cycles / config.cycles_per_ms
                     for cycles in stats.removal_periods_cycles

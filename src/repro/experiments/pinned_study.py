@@ -19,8 +19,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.tables import render_table
 from repro.core.filter import SnoopPolicy
-from repro.experiments.common import run_app, scaled, select_apps
-from repro.sim import SimConfig
+from repro.experiments.common import run_tasks, scaled, select_apps
+from repro.sim import SimConfig, SimTask
 from repro.workloads import COHERENCE_APPS
 
 
@@ -36,10 +36,15 @@ def pinned_config(policy: SnoopPolicy, seed: int = 42) -> SimConfig:
 def run(apps: Optional[List[str]] = None, seed: int = 42) -> Dict[str, Dict[str, float]]:
     """app -> traffic/runtime/snoop metrics of vsnoop vs TokenB."""
     apps = select_apps(COHERENCE_APPS if apps is None else apps)
+    tasks = []
+    for app in apps:
+        tasks.append(SimTask(pinned_config(SnoopPolicy.BROADCAST, seed), app))
+        tasks.append(SimTask(pinned_config(SnoopPolicy.VSNOOP_BASE, seed), app))
+    stats = iter(run_tasks(tasks))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
-        base = run_app(pinned_config(SnoopPolicy.BROADCAST, seed), app)
-        vsnoop = run_app(pinned_config(SnoopPolicy.VSNOOP_BASE, seed), app)
+        base = next(stats)
+        vsnoop = next(stats)
         results[app] = {
             "traffic_reduction_pct": 100.0 * (1 - vsnoop.network_bytes / base.network_bytes),
             "snoop_reduction_pct": 100.0 * (1 - vsnoop.total_snoops / base.total_snoops),

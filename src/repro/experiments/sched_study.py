@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.analysis.tables import render_table
 from repro.experiments.common import fast_mode, select_apps
 from repro.hypervisor.scheduler import CreditSchedulerSim, SchedulerConfig
+from repro.sim import parallel_map
 from repro.workloads import PARSEC_APPS, get_profile
 
 UNDERCOMMITTED_VMS = 2
@@ -33,6 +34,11 @@ def run_one(app: str, num_vms: int, policy: str, seed: int = 7):
         profile = _shorter(profile)
     config = SchedulerConfig(policy=policy, seed=seed)
     return CreditSchedulerSim(config, profile, num_vms=num_vms).run()
+
+
+def _run_cell(args):
+    """Picklable single-argument adapter for the parallel fan-out."""
+    return run_one(*args)
 
 
 def _shorter(profile):
@@ -49,12 +55,20 @@ def run(apps: Optional[List[str]] = None, seed: int = 7) -> Dict[str, Dict[str, 
     the credit run), ``migrations``.
     """
     apps = select_apps(PARSEC_APPS if apps is None else apps)
+    commitments = (("under", UNDERCOMMITTED_VMS), ("over", OVERCOMMITTED_VMS))
+    cells = [
+        (app, num_vms, policy, seed)
+        for app in apps
+        for _, num_vms in commitments
+        for policy in ("pinned", "credit")
+    ]
+    outcomes = iter(parallel_map(_run_cell, cells))
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for app in apps:
         results[app] = {}
-        for label, num_vms in (("under", UNDERCOMMITTED_VMS), ("over", OVERCOMMITTED_VMS)):
-            pinned = run_one(app, num_vms, "pinned", seed)
-            credit = run_one(app, num_vms, "credit", seed)
+        for label, _ in commitments:
+            pinned = next(outcomes)
+            credit = next(outcomes)
             results[app][label] = {
                 "pinned_ms": pinned.wall_ms,
                 "credit_ms": credit.wall_ms,

@@ -20,7 +20,7 @@ from repro.mem.pagetype import PageType
 from repro.mem.physical import HostMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class HostPageInfo:
     """Hypervisor-side record for one allocated host page."""
 
@@ -47,10 +47,21 @@ class MemoryManager:
         # coherence bridge uses it to flush stale cached copies before
         # the page can be recycled to another VM.
         self.page_free_hook: Optional[Callable[[int], None]] = None
+        # Fired whenever an *existing* translation (mapping or page type)
+        # changes; the engine registers its translation-memo clear here.
+        # Pure additions (lazy map_page) need no notification: a memo can
+        # only hold entries for pages that have already been translated.
+        self.translation_change_hook: Optional[Callable[[], None]] = None
+
+    def _translations_changed(self) -> None:
+        hook = self.translation_change_hook
+        if hook is not None:
+            hook()
 
     def _free_host_page(self, host_page: int) -> None:
         del self._host_info[host_page]
         self.host.free(host_page)
+        self._translations_changed()
         if self.page_free_hook is not None:
             self.page_free_hook(host_page)
 
@@ -89,9 +100,13 @@ class MemoryManager:
         """Guest page → (host page, sharing type); lazily maps on first touch.
 
         Lazy mapping mirrors demand paging: the first access by a VM to a
-        guest page allocates its host page as VM-private.
+        guest page allocates its host page as VM-private. This is the
+        simulator's per-access hot path, so the table lookup is inlined
+        rather than routed through :meth:`_table`.
         """
-        table = self._table(vm_id)
+        table = self._tables.get(vm_id)
+        if table is None:
+            raise TranslationFault(f"VM {vm_id} has no address space")
         host_page = table.get(guest_page)
         if host_page is None:
             host_page = self.map_page(vm_id, guest_page)
@@ -116,6 +131,7 @@ class MemoryManager:
         info = self._info(host_page)
         info.page_type = PageType.RW_SHARED
         info.owner_vm = None
+        self._translations_changed()
         return host_page
 
     def share_content(self, mappings: List[Tuple[int, int]]) -> int:
@@ -145,6 +161,7 @@ class MemoryManager:
             table[guest_page] = shared_host
             info.sharer_vms.add(vm_id)
         self.shared_pages_created += 1
+        self._translations_changed()
         return shared_host
 
     def copy_on_write(self, vm_id: int, guest_page: int) -> int:
@@ -172,6 +189,7 @@ class MemoryManager:
         if not info.sharer_vms:
             self._free_host_page(old_host)
         self.cow_faults += 1
+        self._translations_changed()
         return new_host
 
     def iter_shared_pages(self):

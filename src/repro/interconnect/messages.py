@@ -22,6 +22,10 @@ class MessageKind(Enum):
     VCPU_MAP_UPDATE = "vcpu_map_update"  # vCPU map synchronisation (control)
     PERSISTENT = "persistent"  # persistent request activation (control)
 
+    # Identity hash (C-level); members are singletons, so this is
+    # equivalent to Enum's default but cheaper on the per-message path.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class FlitSizing:

@@ -45,6 +45,12 @@ class NetworkModel:
         self.link_latency = link_latency
         self.window_cycles = window_cycles
         self.contention_scale = contention_scale
+        # Hot-path precomputation: the hop table, per-kind flit counts and
+        # the per-hop pipeline latency are all invariant for the model's
+        # lifetime, and recomputing them per message dominates profile time.
+        self._hops = topology.hops_table
+        self._flits = {kind: sizing.flits(kind) for kind in MessageKind}
+        self._per_hop = router_latency + link_latency
         # Directed link count of a W x H mesh.
         w, h = topology.width, topology.height
         self.num_links = 2 * (2 * w * h - w - h)
@@ -56,9 +62,17 @@ class NetworkModel:
         self._window_start = 0
         self._window_flit_hops = 0
         self._last_utilisation = 0.0
+        # (src, destination-frozenset) -> (count, total_hops, worst_hops).
+        # Plans reuse their destination frozensets across transactions, so
+        # the per-destination hop walk is paid once per distinct set.
+        self._mc_cache: dict = {}
 
     def _per_hop_latency(self) -> int:
-        return self.router_latency + self.link_latency
+        return self._per_hop
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY hop count between two nodes (table lookup)."""
+        return self._hops[src][dst]
 
     def _advance_window(self, cycle: int) -> None:
         if cycle - self._window_start >= self.window_cycles:
@@ -77,8 +91,24 @@ class NetworkModel:
         u = self._last_utilisation
         return int(self.contention_scale * u / (1.0 - u))
 
+    def _aggregate_hops(self, src: int, dsts: Iterable[int]) -> tuple:
+        """(count, total_hops, worst_hops) of a multicast from ``src``."""
+        hops_row = self._hops[src]
+        worst_hops = 0
+        total_hops = 0
+        count = 0
+        for dst in dsts:
+            if dst == src:
+                continue
+            hops = hops_row[dst]
+            total_hops += hops
+            count += 1
+            if hops > worst_hops:
+                worst_hops = hops
+        return count, total_hops, worst_hops
+
     def _record(self, hops: int, kind: MessageKind) -> None:
-        flits = self.sizing.flits(kind)
+        flits = self._flits[kind]
         self.messages += 1
         self.flit_hops += flits * hops
         self.bytes_transferred += flits * self.sizing.link_bytes * hops
@@ -90,12 +120,20 @@ class NetworkModel:
         A self-send (``src == dst``) is free and instantaneous — the
         protocol never puts local lookups on the network.
         """
-        self._advance_window(cycle)
+        # Inline guard: the window rolls over rarely, so skip the helper
+        # call in the common case (the helper re-checks the condition).
+        if cycle - self._window_start >= self.window_cycles:
+            self._advance_window(cycle)
         if src == dst:
             return 0
-        hops = self.topology.hops(src, dst)
-        self._record(hops, kind)
-        return hops * self._per_hop_latency() + self.contention_delay()
+        hops = self._hops[src][dst]
+        flits = self._flits[kind]
+        flit_hops = flits * hops
+        self.messages += 1
+        self.flit_hops += flit_hops
+        self.bytes_transferred += flit_hops * self.sizing.link_bytes
+        self._window_flit_hops += flit_hops
+        return hops * self._per_hop + self.contention_delay()
 
     def multicast(
         self,
@@ -109,17 +147,25 @@ class NetworkModel:
         Traffic is charged per destination; latency is the slowest
         destination's, since the requester must wait for all responses.
         """
-        self._advance_window(cycle)
-        worst_hops = 0
-        for dst in dsts:
-            if dst == src:
-                continue
-            hops = self.topology.hops(src, dst)
-            self._record(hops, kind)
-            worst_hops = max(worst_hops, hops)
+        if cycle - self._window_start >= self.window_cycles:
+            self._advance_window(cycle)
+        try:
+            agg = self._mc_cache.get((src, dsts))
+        except TypeError:  # unhashable destination container
+            agg = self._aggregate_hops(src, dsts)
+        else:
+            if agg is None:
+                agg = self._mc_cache[(src, dsts)] = self._aggregate_hops(src, dsts)
+        count, total_hops, worst_hops = agg
+        if count:
+            flit_hops = self._flits[kind] * total_hops
+            self.messages += count
+            self.flit_hops += flit_hops
+            self.bytes_transferred += flit_hops * self.sizing.link_bytes
+            self._window_flit_hops += flit_hops
         if worst_hops == 0:
             return 0
-        return worst_hops * self._per_hop_latency() + self.contention_delay()
+        return worst_hops * self._per_hop + self.contention_delay()
 
     def round_trip(
         self,

@@ -19,6 +19,17 @@ class MeshTopology:
             raise ValueError(f"mesh dimensions must be positive, got {width}x{height}")
         self.width = width
         self.height = height
+        # Precomputed XY hop-distance table, hops_table[src][dst]. The mesh
+        # is small (16 nodes in the paper's configuration) and hop lookups
+        # dominate the latency model's cost, so pay O(n^2) memory once.
+        n = width * height
+        self.hops_table: List[List[int]] = [
+            [
+                abs(s % width - d % width) + abs(s // width - d // width)
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
 
     @property
     def num_nodes(self) -> int:
@@ -40,9 +51,9 @@ class MeshTopology:
 
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance — the XY-routed hop count."""
-        sx, sy = self.coords(src)
-        dx, dy = self.coords(dst)
-        return abs(sx - dx) + abs(sy - dy)
+        self._check(src)
+        self._check(dst)
+        return self.hops_table[src][dst]
 
     def xy_route(self, src: int, dst: int) -> List[int]:
         """The XY route from ``src`` to ``dst``, inclusive of endpoints.
@@ -77,11 +88,6 @@ class MeshTopology:
 
     def average_distance(self) -> float:
         """Mean hop count over all ordered src != dst pairs."""
-        total = 0
-        pairs = 0
-        for src in range(self.num_nodes):
-            for dst in range(self.num_nodes):
-                if src != dst:
-                    total += self.hops(src, dst)
-                    pairs += 1
+        total = sum(sum(row) for row in self.hops_table)
+        pairs = self.num_nodes * (self.num_nodes - 1)
         return total / pairs if pairs else 0.0

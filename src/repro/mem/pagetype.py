@@ -22,6 +22,11 @@ class PageType(Enum):
     RW_SHARED = "rw_shared"
     RO_SHARED = "ro_shared"
 
+    # Members are singletons compared by identity, so the identity hash is
+    # equivalent to Enum's value hash — but resolves in C instead of Python,
+    # which matters for the per-access stats dicts keyed by page type.
+    __hash__ = object.__hash__
+
     @property
     def broadcast_required(self) -> bool:
         """Whether correctness demands a full broadcast for this type

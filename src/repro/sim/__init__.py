@@ -2,6 +2,14 @@
 
 from repro.sim.config import SimConfig
 from repro.sim.engine import SimulationEngine, run_simulation
+from repro.sim.runner import (
+    SimTask,
+    default_jobs,
+    parallel_map,
+    run_matrix,
+    run_simulation_task,
+    set_default_jobs,
+)
 from repro.sim.stats import SimStats
 from repro.sim.system import (
     HYPERVISOR_SPACE,
@@ -16,9 +24,15 @@ __all__ = [
     "HYPERVISOR_SPACE",
     "SimConfig",
     "SimStats",
+    "SimTask",
     "SimulatedSystem",
     "SimulationEngine",
     "build_system",
     "compute_friends",
+    "default_jobs",
+    "parallel_map",
+    "run_matrix",
     "run_simulation",
+    "run_simulation_task",
+    "set_default_jobs",
 ]

@@ -1,0 +1,119 @@
+"""Parallel experiment fan-out across processes.
+
+Every experiment in this repository is a *matrix* of independent
+simulations: one (config, app) cell per paper data point, each fully
+determined by its :class:`~repro.sim.config.SimConfig` (including its
+seed). That independence makes the fan-out embarrassingly parallel —
+and, more importantly, makes the parallel results **bit-identical** to
+serial ones: a worker process builds its system from the pickled config
+exactly as the serial path would, so every RNG stream and statistic is
+reproduced exactly. Only wall-clock time changes.
+
+Job-count resolution, in priority order:
+
+1. an explicit ``jobs=N`` argument,
+2. :func:`set_default_jobs` (the ``repro-sim --jobs N`` CLI flag),
+3. the ``REPRO_JOBS`` environment variable (``auto`` or ``0`` means
+   one job per CPU),
+4. serial (``jobs=1``).
+
+``jobs=1`` never spawns processes: the same worker function runs inline,
+so the serial path *is* the parallel path minus the pool, and there is
+no separate code path to drift.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, TypeVar
+
+from repro.sim.config import SimConfig
+from repro.sim.stats import SimStats
+from repro.sim.system import build_system
+from repro.sim.engine import run_simulation
+from repro.workloads import get_profile
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+class SimTask(NamedTuple):
+    """One cell of an experiment matrix: run ``app`` under ``config``."""
+
+    config: SimConfig
+    app: str
+
+
+def run_simulation_task(task: SimTask) -> SimStats:
+    """Build, run and return the statistics of one task.
+
+    Module-level (and argument-picklable) so a multiprocessing pool can
+    ship it to workers; also the serial path's worker, so both paths run
+    byte-for-byte the same code.
+    """
+    system = build_system(task.config, get_profile(task.app))
+    run_simulation(system)
+    return system.stats
+
+
+def parse_jobs(value: Optional[str]) -> int:
+    """Interpret a ``--jobs`` / ``REPRO_JOBS`` value.
+
+    ``None``/empty means serial; ``auto`` or ``0`` means one job per
+    available CPU; anything else must be a positive integer.
+    """
+    if value is None or value == "":
+        return 1
+    text = str(value).strip().lower()
+    if text in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise ValueError(f"jobs must be >= 1 or 'auto', got {value!r}") from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 or 'auto', got {value!r}")
+    return jobs
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default job count (``None`` restores env/serial)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def default_jobs() -> int:
+    """The job count used when a call site passes ``jobs=None``."""
+    if _default_jobs is not None:
+        return _default_jobs
+    return parse_jobs(os.environ.get(JOBS_ENV_VAR))
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], jobs: Optional[int] = None
+) -> List[R]:
+    """Apply ``fn`` to every item, preserving input order in the result.
+
+    ``fn`` and the items must be picklable when ``jobs > 1`` (``fn`` at
+    module level, items built from plain data). Work is distributed over
+    a process pool; results come back in input order regardless of
+    completion order, so callers can zip them against their task lists.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, min(jobs, len(items))) if items else 1
+    if jobs == 1:
+        return [fn(item) for item in items]
+    with multiprocessing.get_context().Pool(processes=jobs) as pool:
+        return pool.map(fn, items)
+
+
+def run_matrix(tasks: Sequence[SimTask], jobs: Optional[int] = None) -> List[SimStats]:
+    """Run an experiment matrix; results align index-for-index with tasks."""
+    return parallel_map(run_simulation_task, tasks, jobs=jobs)

@@ -16,7 +16,7 @@ from repro.mem.pagetype import PageType
 from repro.workloads.trace import Initiator
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Counters gathered while an engine runs."""
 

@@ -36,6 +36,9 @@ from repro.workloads.profiles import AppProfile
 from repro.workloads.trace import Initiator, MemoryAccess
 
 BLOCKS_PER_PAGE = 64
+_PAGE_SHIFT = BLOCKS_PER_PAGE.bit_length() - 1  # block number -> page offset
+_BLOCK_MASK = BLOCKS_PER_PAGE - 1
+_tuple_new = tuple.__new__
 
 # Guest-page-number bases of each pool (disjoint by construction).
 SHARED_HOT_BASE = 0x20000
@@ -183,6 +186,12 @@ class VmWorkload:
         self.vm_id = vm_id
         self.num_vcpus = num_vcpus
         self._rng = random.Random(f"{seed}/{profile.name}/{vm_id}")
+        # Bound methods, hoisted: next_access is the single hottest call in
+        # the simulator and method lookup on the Random instance is a
+        # measurable fraction of it.
+        self._random = self._rng.random
+        self._randrange = self._rng.randrange
+        self._getrandbits = self._rng.getrandbits
         mix = solve_category_mix(profile, include_hypervisor)
         self.shared_write_fraction = mix.shared_write_fraction
         probabilities = mix.probabilities
@@ -208,12 +217,22 @@ class VmWorkload:
             profile.hot_content_pages, probabilities[_CONTENT_HOT]
         )
         self.hot_content_pages = -(-self.content_hot_blocks // BLOCKS_PER_PAGE)
+        # Bit widths for the inlined ``Random._randbelow_with_getrandbits``
+        # in next_access (pool sizes are fixed for the workload's lifetime).
+        self._private_hot_bits = self.private_hot_blocks.bit_length()
+        self._shared_hot_bits = self.shared_hot_blocks.bit_length()
+        self._content_hot_bits = self.content_hot_blocks.bit_length()
         self.content_stream_pages = max(4, round(profile.content_stream_pages * scale))
         self._cumulative: List[float] = []
         total = 0.0
         for p in probabilities:
             total += p
             self._cumulative.append(total)
+        # Flat attributes for next_access (skip the per-access profile
+        # attribute chain and the cumulative[-1] index).
+        self._cum_total = self._cumulative[-1]
+        self._write_fraction = profile.write_fraction
+        self._content_write_fraction = profile.content_write_fraction
         # Streaming cursors. Private streams are per-vCPU; the VM-shared
         # and content streams are walked jointly by all vCPUs of the VM.
         # Content cursors start at a per-VM random phase so the VMs'
@@ -255,6 +274,8 @@ class VmWorkload:
         )
         self._hyp_stream = _StreamCursor(HYP_POOL_BASE, HYP_POOL_PAGES)
         self._dom0_stream = _StreamCursor(DOM0_POOL_BASE, DOM0_POOL_PAGES)
+        # Per-vCPU hot-path closures, built lazily by stepper_for().
+        self._steppers: dict = {}
 
     # ------------------------------------------------------------------
     # Content-sharing registration.
@@ -277,52 +298,158 @@ class VmWorkload:
     # Stream generation.
     # ------------------------------------------------------------------
 
+    def stepper_for(self, vcpu_index: int):
+        """The cached hot-path closure for ``vcpu_index`` (see make_stepper)."""
+        step = self._steppers.get(vcpu_index)
+        if step is None:
+            step = self._steppers[vcpu_index] = self.make_stepper(vcpu_index)
+        return step
+
+    def make_stepper(self, vcpu_index: int):
+        """Build the per-vCPU access-generation closure.
+
+        Returns a zero-argument callable producing ``(initiator,
+        guest_page, block_index, is_write)``. Every piece of workload
+        state is captured in closure cells, so the simulation engine's
+        inner loop can call it with no attribute traffic and no
+        :class:`MemoryAccess` allocation. :meth:`next_access` delegates
+        here, so the RNG draw sequence is identical whichever entry point
+        a caller uses — that sequence is part of the deterministic
+        contract: reordering or eliding draws changes every downstream
+        statistic, so optimisations must keep the exact draw order of
+        each branch.
+
+        The hot-pool branches inline ``random.Random._randbelow_with_
+        getrandbits`` for the pool's fixed size: the getrandbits call
+        sequence — and therefore the RNG stream — is exactly what
+        ``randrange(n)`` would consume. Streaming branches inline the
+        :class:`_StreamCursor` walk (shared cursor objects keep vCPUs of
+        one VM jointly walking the shared/content regions).
+        """
+        random = self._random
+        getrandbits = self._getrandbits
+        cumulative = self._cumulative
+        cum_total = self._cum_total
+        write_fraction = self._write_fraction
+        shared_write_fraction = self.shared_write_fraction
+        content_write_fraction = self._content_write_fraction
+        private_hot_blocks = self.private_hot_blocks
+        private_hot_bits = self._private_hot_bits
+        shared_hot_blocks = self.shared_hot_blocks
+        shared_hot_bits = self._shared_hot_bits
+        content_hot_blocks = self.content_hot_blocks
+        content_hot_bits = self._content_hot_bits
+        private_base = PRIVATE_BASE + vcpu_index * PRIVATE_VCPU_STRIDE
+        private_stream = self._private_streams[vcpu_index]
+        shared_stream = self._shared_stream
+        content_stream = self._content_stream
+        hyp_stream = self._hyp_stream
+        dom0_stream = self._dom0_stream
+        guest = Initiator.GUEST
+        hypervisor = Initiator.HYPERVISOR
+        dom0 = Initiator.DOM0
+
+        def step():
+            category = bisect_right(cumulative, random() * cum_total)
+            if category > _PRIVATE_HOT:
+                category = _PRIVATE_HOT
+            initiator = guest
+            is_write = random() < write_fraction
+            if category == _PRIVATE_HOT:
+                r = getrandbits(private_hot_bits)
+                while r >= private_hot_blocks:
+                    r = getrandbits(private_hot_bits)
+                page = private_base + (r >> _PAGE_SHIFT)
+                block = r & _BLOCK_MASK
+            elif category == _PRIVATE_STREAM:
+                cursor = private_stream
+                page = cursor.base + cursor.page
+                block = cursor.block
+                nxt = block + 1
+                if nxt == BLOCKS_PER_PAGE:
+                    cursor.block = 0
+                    cursor.page = (cursor.page + 1) % cursor.pages
+                else:
+                    cursor.block = nxt
+            elif category == _SHARED_HOT:
+                r = getrandbits(shared_hot_bits)
+                while r >= shared_hot_blocks:
+                    r = getrandbits(shared_hot_bits)
+                page = SHARED_HOT_BASE + (r >> _PAGE_SHIFT)
+                block = r & _BLOCK_MASK
+                is_write = random() < shared_write_fraction
+            elif category == _SHARED_STREAM:
+                cursor = shared_stream
+                page = cursor.base + cursor.page
+                block = cursor.block
+                nxt = block + 1
+                if nxt == BLOCKS_PER_PAGE:
+                    cursor.block = 0
+                    cursor.page = (cursor.page + 1) % cursor.pages
+                else:
+                    cursor.block = nxt
+                is_write = random() < shared_write_fraction
+            elif category == _CONTENT_STREAM:
+                cursor = content_stream
+                page = cursor.base + cursor.page
+                block = cursor.block
+                nxt = block + 1
+                if nxt == BLOCKS_PER_PAGE:
+                    cursor.block = 0
+                    cursor.page = (cursor.page + 1) % cursor.pages
+                else:
+                    cursor.block = nxt
+                is_write = random() < content_write_fraction
+            elif category == _CONTENT_HOT:
+                r = getrandbits(content_hot_bits)
+                while r >= content_hot_blocks:
+                    r = getrandbits(content_hot_bits)
+                page = CONTENT_HOT_BASE + (r >> _PAGE_SHIFT)
+                block = r & _BLOCK_MASK
+                is_write = random() < content_write_fraction
+            elif category == _HYP:
+                cursor = hyp_stream
+                page = cursor.base + cursor.page
+                block = cursor.block
+                nxt = block + 1
+                if nxt == BLOCKS_PER_PAGE:
+                    cursor.block = 0
+                    cursor.page = (cursor.page + 1) % cursor.pages
+                else:
+                    cursor.block = nxt
+                initiator = hypervisor
+                is_write = random() < 0.2
+            else:
+                cursor = dom0_stream
+                page = cursor.base + cursor.page
+                block = cursor.block
+                nxt = block + 1
+                if nxt == BLOCKS_PER_PAGE:
+                    cursor.block = 0
+                    cursor.page = (cursor.page + 1) % cursor.pages
+                else:
+                    cursor.block = nxt
+                initiator = dom0
+                is_write = random() < 0.2
+            return initiator, page, block, is_write
+
+        return step
+
     def next_access(self, vcpu_index: int) -> MemoryAccess:
-        """Generate the next access of ``vcpu_index``."""
-        rng = self._rng
-        category = bisect_right(self._cumulative, rng.random() * self._cumulative[-1])
-        category = min(category, _PRIVATE_HOT)
-        profile = self.profile
-        initiator = Initiator.GUEST
-        is_write = rng.random() < profile.write_fraction
-        if category == _CONTENT_STREAM:
-            page, block = self._content_stream.next()
-            is_write = rng.random() < profile.content_write_fraction
-        elif category == _CONTENT_HOT:
-            r = rng.randrange(self.content_hot_blocks)
-            page = CONTENT_HOT_BASE + r // BLOCKS_PER_PAGE
-            block = r % BLOCKS_PER_PAGE
-            is_write = rng.random() < profile.content_write_fraction
-        elif category == _HYP:
-            page, block = self._hyp_stream.next()
-            initiator = Initiator.HYPERVISOR
-            is_write = rng.random() < 0.2
-        elif category == _DOM0:
-            page, block = self._dom0_stream.next()
-            initiator = Initiator.DOM0
-            is_write = rng.random() < 0.2
-        elif category == _SHARED_STREAM:
-            page, block = self._shared_stream.next()
-            is_write = rng.random() < self.shared_write_fraction
-        elif category == _SHARED_HOT:
-            r = rng.randrange(self.shared_hot_blocks)
-            page = SHARED_HOT_BASE + r // BLOCKS_PER_PAGE
-            block = r % BLOCKS_PER_PAGE
-            is_write = rng.random() < self.shared_write_fraction
-        elif category == _PRIVATE_STREAM:
-            page, block = self._private_streams[vcpu_index].next()
-        else:
-            base = PRIVATE_BASE + vcpu_index * PRIVATE_VCPU_STRIDE
-            r = rng.randrange(self.private_hot_blocks)
-            page = base + r // BLOCKS_PER_PAGE
-            block = r % BLOCKS_PER_PAGE
-        return MemoryAccess(
-            vm_id=self.vm_id,
-            vcpu_index=vcpu_index,
-            initiator=initiator,
-            guest_page=page,
-            block_index=block,
-            is_write=is_write,
+        """Generate the next access of ``vcpu_index``.
+
+        Delegates to the vCPU's stepper closure (the single source of the
+        generation logic and RNG draw order; see :meth:`make_stepper`)
+        and wraps the result in a :class:`MemoryAccess`. tuple.__new__
+        skips the namedtuple's Python-level __new__ wrapper.
+        """
+        step = self._steppers.get(vcpu_index)
+        if step is None:
+            step = self._steppers[vcpu_index] = self.make_stepper(vcpu_index)
+        initiator, page, block, is_write = step()
+        return _tuple_new(
+            MemoryAccess,
+            (self.vm_id, vcpu_index, initiator, page, block, is_write),
         )
 
     def stream(self, vcpu_index: int, count: int) -> Iterator[MemoryAccess]:

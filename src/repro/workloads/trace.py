@@ -20,6 +20,10 @@ class Initiator(Enum):
     DOM0 = "dom0"
     HYPERVISOR = "hypervisor"
 
+    # Identity hash (C-level) — members are singletons, so this matches
+    # Enum's semantics while keeping per-access stats updates cheap.
+    __hash__ = object.__hash__
+
 
 class MemoryAccess(NamedTuple):
     """One memory reference.

@@ -154,3 +154,70 @@ class TestDomainMaintenance:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError):
             VirtualSnoopFilter(16, counter_threshold=0)
+
+
+class TestPlanCache:
+    """Plans are memoised per (core, vm_id, page_type) and must be
+    invalidated by every event that can change a destination set."""
+
+    def test_repeated_plans_are_cached(self):
+        f = make_filter()
+        first = f.plan(4, 1, PageType.VM_PRIVATE)
+        assert f.plan(4, 1, PageType.VM_PRIVATE) is first
+        # Distinct keys get distinct entries, cached independently.
+        other = f.plan(8, 2, PageType.VM_PRIVATE)
+        assert other is not first
+        assert f.plan(8, 2, PageType.VM_PRIVATE) is other
+
+    def test_placement_invalidates(self):
+        f = make_filter()
+        before = f.plan(4, 1, PageType.VM_PRIVATE)
+        assert before.attempts == (frozenset({4, 5, 6, 7}),)
+        f.on_vcpu_placed(1, 12)  # domain grows -> version bump
+        after = f.plan(4, 1, PageType.VM_PRIVATE)
+        assert after is not before
+        assert after.attempts == (frozenset({4, 5, 6, 7, 12}),)
+
+    def test_residence_removal_invalidates(self):
+        f = make_filter(policy=SnoopPolicy.VSNOOP_COUNTER)
+        tracker = f.trackers[7]
+        lines = [CacheLine(i, 1) for i in range(3)]
+        for line in lines:
+            tracker.on_insert(line)
+        f.on_vcpu_displaced(1, 7)  # counter non-empty: core 7 stays
+        before = f.plan(4, 1, PageType.VM_PRIVATE)
+        assert 7 in before.attempts[0]
+        for line in lines:  # drain to the watermark -> try_remove fires
+            tracker.on_evict(line)
+        assert 7 not in f.domains.domain(1)
+        after = f.plan(4, 1, PageType.VM_PRIVATE)
+        assert after is not before
+        assert after.attempts == (frozenset({4, 5, 6}),)
+
+    def test_set_friend_invalidates(self):
+        f = make_filter(content=ContentPolicy.FRIEND_VM)
+        before = f.plan(4, 1, PageType.RO_SHARED)
+        f.set_friend(1, 2)
+        after = f.plan(4, 1, PageType.RO_SHARED)
+        assert after is not before
+        # The friend VM's domain joins the first attempt.
+        assert frozenset({8, 9, 10, 11}) <= after.attempts[0]
+
+    def test_swap_vcpus_invalidates(self):
+        from repro.sim import SimConfig, build_system
+        from repro.workloads import get_profile
+
+        config = SimConfig(snoop_policy=SnoopPolicy.VSNOOP_BASE)
+        system = build_system(config, get_profile("fft"))
+        f = system.snoop_filter
+        vm_a, vm_b = system.vms[0], system.vms[1]
+        a, b = vm_a.vcpus[0], vm_b.vcpus[0]
+        core_a, core_b = a.core, b.core
+        before = f.plan(core_a, vm_a.vm_id, PageType.VM_PRIVATE)
+        assert core_b not in before.attempts[0]
+        system.hypervisor.swap_vcpus(a, b)
+        after = f.plan(core_a, vm_a.vm_id, PageType.VM_PRIVATE)
+        assert after is not before
+        # vsnoop-base never removes: the domain grew to cover both cores.
+        assert core_b in after.attempts[0]
+        assert core_a in after.attempts[0]
