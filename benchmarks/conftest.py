@@ -68,6 +68,16 @@ def pytest_sessionfinish(session, exitstatus):
         "durations_s": dict(sorted(_durations.items())),
         "headlines": _shared.headline_metrics(),
     }
+    # When the campaigns checkpoint (REPRO_CAMPAIGN_DIR, e.g. in CI),
+    # record where and what so the bench guard links to the manifests.
+    campaign_dir = os.environ.get("REPRO_CAMPAIGN_DIR")
+    if campaign_dir and Path(campaign_dir).is_dir():
+        files = list(Path(campaign_dir).glob("*.json"))
+        payload["campaign"] = {
+            "dir": campaign_dir,
+            "manifests": sorted(p.name for p in files if p.name.startswith("manifest")),
+            "cells": sum(1 for p in files if not p.name.startswith("manifest")),
+        }
     RESULTS_DIR.mkdir(exist_ok=True)
     out_path = RESULTS_DIR / f"BENCH_{rev}.json"
     out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")

@@ -12,10 +12,18 @@ Subcommands:
 matrices out over worker processes — results are bit-identical at any
 job count, only wall-clock time changes.
 
+``experiment --out DIR`` turns a run into a resumable campaign: every
+completed cell is checkpointed to ``DIR`` as JSON, a manifest records
+what ran, and ``--resume`` re-runs only the missing cells (Ctrl-C keeps
+what finished). ``--retries`` and ``--task-timeout`` bound individual
+cell failures and hangs.
+
 Examples::
 
     repro-sim run --app fft --policy counter --migration-ms 2.5
     repro-sim --jobs auto experiment fig7
+    repro-sim --jobs auto experiment fig7 --out fig7.campaign
+    repro-sim --jobs auto experiment fig7 --out fig7.campaign --resume
     repro-sim profile --app ocean --migration-ms 2.5 --top 15
     repro-sim record-trace --app canneal --out canneal.trace
 """
@@ -101,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), metavar="name",
                             help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    experiment.add_argument("--out", default=None, metavar="DIR",
+                            help="campaign directory: checkpoint every "
+                            "completed cell as JSON and write a run manifest")
+    experiment.add_argument("--resume", action="store_true",
+                            help="reuse cells already checkpointed in --out "
+                            "and run only the missing ones")
+    experiment.add_argument("--retries", type=int, default=0, metavar="N",
+                            help="re-run a failing cell up to N times before "
+                            "recording the failure (default: 0)")
+    experiment.add_argument("--task-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="terminate any cell running longer than this "
+                            "(needs worker processes, i.e. --jobs >= 2)")
 
     profile = sub.add_parser(
         "profile", help="run one simulation under cProfile and print hotspots"
@@ -164,13 +185,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     system = build_system(config, get_profile(args.app))
     run_simulation(system)
     stats = system.stats
+    # Zero-length runs (e.g. --accesses 0) produce no measured accesses
+    # and may produce no coherence transactions: print "n/a" rather than
+    # a 0-division-dodged 0.0 that reads as a perfect score.
     broadcast_snoops = config.num_cores * stats.total_transactions
+    miss_rate = f"{stats.miss_rate():.4f}" if stats.l1_accesses else "n/a (no accesses)"
+    snoop_pct = (
+        f"{100 * stats.total_snoops / broadcast_snoops:.1f}%"
+        if broadcast_snoops
+        else "n/a (no coherence transactions)"
+    )
     rows = [
         ("accesses", stats.l1_accesses),
         ("coherence transactions", stats.total_transactions),
-        ("miss rate", f"{stats.miss_rate():.4f}"),
+        ("miss rate", miss_rate),
         ("snoops", stats.total_snoops),
-        ("snoops vs broadcast", f"{100 * stats.total_snoops / max(broadcast_snoops, 1):.1f}%"),
+        ("snoops vs broadcast", snoop_pct),
         ("network bytes", stats.network_bytes),
         ("execution cycles", stats.execution_cycles),
         ("migrations", stats.migrations),
@@ -180,12 +210,63 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_experiment(name: str) -> int:
-    module_name, _ = EXPERIMENTS[name]
+def cmd_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    module_name, _ = EXPERIMENTS[args.name]
     import importlib
 
+    from repro.sim.runner import CampaignInterrupted, CampaignSettings, set_campaign
+
+    if args.resume and not args.out:
+        parser.error("--resume requires --out DIR")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        if out.is_dir() and not args.resume:
+            cells = [
+                p for p in out.glob("*.json") if not p.name.startswith("manifest")
+            ]
+            if cells:
+                parser.error(
+                    f"{out} already holds {len(cells)} checkpointed cell(s); "
+                    f"pass --resume to reuse them, or choose a fresh directory"
+                )
+    # Install campaign defaults only when a flag asked for them, so a
+    # plain `experiment` run still honours REPRO_CAMPAIGN_DIR.
+    if args.out or args.retries or args.task_timeout is not None:
+        set_campaign(
+            CampaignSettings(
+                checkpoint_dir=args.out,
+                retries=args.retries,
+                task_timeout=args.task_timeout,
+                progress=bool(args.out),
+            )
+        )
     module = importlib.import_module(module_name)
-    module.main()
+    try:
+        module.main()
+    except CampaignInterrupted as exc:
+        done = sum(1 for r in exc.results if r.ok)
+        print(
+            f"interrupted: {done}/{len(exc.results)} cells finished"
+            + (
+                f"; saved under {args.out} — re-run with --resume to "
+                f"complete the rest"
+                if args.out
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    finally:
+        set_campaign(None)
     return 0
 
 
@@ -210,13 +291,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
     pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(args.top)
     print(stream.getvalue().rstrip())
     stats = system.stats
-    accesses = max(stats.l1_accesses, 1)
+    if stats.l1_accesses:
+        rate = (
+            f"{1e6 * elapsed / stats.l1_accesses:.2f} us/access; "
+            f"expect ~2x faster unprofiled"
+        )
+    else:
+        # --accesses 0: a per-access rate would be division by zero (or,
+        # dodged, a nonsense number); say so instead.
+        rate = "no measured accesses, per-access rate n/a"
     print()
     print(
         f"{args.app} / {args.policy}: {stats.l1_accesses} accesses in "
-        f"{elapsed:.2f}s under the profiler "
-        f"({1e6 * elapsed / accesses:.2f} us/access; expect ~2x faster "
-        f"unprofiled)"
+        f"{elapsed:.2f}s under the profiler ({rate})"
     )
     return 0
 
@@ -250,7 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return cmd_run(args)
     if args.command == "experiment":
-        return cmd_experiment(args.name)
+        return cmd_experiment(args, parser)
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "record-trace":

@@ -9,10 +9,14 @@ misses on content-shared pages (Table VI).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 from repro.mem.pagetype import PageType
+
+# Fields holding PageType-keyed dicts; serialized by enum value so the
+# JSON round trip is lossless and human-readable.
+_PAGE_TYPE_KEYED = ("transactions_by_page_type", "snoops_by_page_type")
 
 
 @dataclass(slots=True)
@@ -56,6 +60,32 @@ class CoherenceStats:
     def record_snoops(self, count: int, page_type: PageType) -> None:
         self.snoops += count
         self.snoops_by_page_type[page_type] += count
+
+    def to_dict(self) -> dict:
+        """Every counter as JSON-serializable data (enum keys by value)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name in _PAGE_TYPE_KEYED:
+                out[f.name] = {t.value: count for t, count in value.items()}
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoherenceStats":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CoherenceStats fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for name in _PAGE_TYPE_KEYED:
+            if name in kwargs:
+                kwargs[name] = {
+                    PageType(key): count for key, count in kwargs[name].items()
+                }
+        return cls(**kwargs)
 
     def merge(self, other: "CoherenceStats") -> None:
         """Accumulate ``other`` into ``self`` (for multi-run aggregation)."""

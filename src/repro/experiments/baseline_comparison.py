@@ -53,7 +53,7 @@ def run(apps: Optional[List[str]] = None, seed: int = 42) -> Dict[str, Dict[str,
         for _, filter_kind, period in variants:
             config = _config(filter_kind, SnoopPolicy.VSNOOP_COUNTER, period, seed)
             tasks.append(SimTask(config, app))
-    pairs = iter(zip(tasks, run_tasks(tasks)))
+    pairs = iter(zip(tasks, run_tasks(tasks, label="regionscout")))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
         row: Dict[str, float] = {}

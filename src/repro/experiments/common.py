@@ -43,10 +43,19 @@ def run_app(config: SimConfig, app: str) -> SimStats:
 
 
 def run_tasks(
-    tasks: Sequence[SimTask], jobs: Optional[int] = None
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    label: Optional[str] = None,
 ) -> List[SimStats]:
-    """Run a driver's task matrix; results align index-for-index."""
-    return run_matrix(tasks, jobs=jobs)
+    """Run a driver's task matrix; results align index-for-index.
+
+    ``label`` names the matrix in campaign manifests and progress lines
+    when a checkpoint directory is active (``repro-sim experiment
+    --out`` or ``REPRO_CAMPAIGN_DIR``); checkpointed cells are skipped
+    on resume and a failing cell raises
+    :class:`~repro.sim.runner.TaskError` identifying the task.
+    """
+    return run_matrix(tasks, jobs=jobs, label=label)
 
 
 def normalized_snoops_percent(stats: SimStats, num_cores: int) -> float:

@@ -62,7 +62,7 @@ def run_sharing_stats(
         SimTask(content_config(ContentPolicy.BROADCAST, seed), app) for app in apps
     ]
     results: Dict[str, Dict[str, float]] = {}
-    for app, stats in zip(apps, run_tasks(tasks)):
+    for app, stats in zip(apps, run_tasks(tasks, label="tab5_tab6")):
         ro_misses = max(stats.coherence.ro_misses, 1)
         results[app] = {
             # Table V
@@ -87,7 +87,7 @@ def run_policy_comparison(
         for app in apps
         for policy in CONTENT_POLICIES
     ]
-    all_stats = iter(run_tasks(tasks))
+    all_stats = iter(run_tasks(tasks, label="fig10"))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
         results[app] = {}

@@ -43,7 +43,7 @@ def run(apps: List[str] = None) -> Dict[str, Dict[str, float]]:
     apps = select_apps(FIG1_APPS if apps is None else apps)
     tasks = [SimTask(fig1_config(), app) for app in apps]
     results: Dict[str, Dict[str, float]] = {}
-    for app, stats in zip(apps, run_tasks(tasks)):
+    for app, stats in zip(apps, run_tasks(tasks, label="fig1")):
         shares = stats.miss_decomposition_by_initiator()
         results[app] = {
             "guest": 100.0 * shares[Initiator.GUEST],

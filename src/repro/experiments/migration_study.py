@@ -66,7 +66,7 @@ def run(
         for period in periods_ms
         for policy in policies
     ]
-    all_stats = iter(run_tasks(tasks))
+    all_stats = iter(run_tasks(tasks, label="fig7_8_9"))
     results: Dict[str, Dict[float, Dict[str, Dict[str, object]]]] = {}
     for app in apps:
         results[app] = {}

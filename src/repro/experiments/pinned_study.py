@@ -40,7 +40,7 @@ def run(apps: Optional[List[str]] = None, seed: int = 42) -> Dict[str, Dict[str,
     for app in apps:
         tasks.append(SimTask(pinned_config(SnoopPolicy.BROADCAST, seed), app))
         tasks.append(SimTask(pinned_config(SnoopPolicy.VSNOOP_BASE, seed), app))
-    stats = iter(run_tasks(tasks))
+    stats = iter(run_tasks(tasks, label="tab4_fig6"))
     results: Dict[str, Dict[str, float]] = {}
     for app in apps:
         base = next(stats)

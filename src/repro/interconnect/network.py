@@ -64,8 +64,12 @@ class NetworkModel:
         self._last_utilisation = 0.0
         # (src, destination-frozenset) -> (count, total_hops, worst_hops).
         # Plans reuse their destination frozensets across transactions, so
-        # the per-destination hop walk is paid once per distinct set.
+        # the per-destination hop walk is paid once per distinct set. The
+        # cache is bounded: past _mc_cache_max entries it is cleared and
+        # rebuilt (distinct destination sets are few in practice, so the
+        # bound only guards against pathological callers).
         self._mc_cache: dict = {}
+        self._mc_cache_max = 4096
 
     def _per_hop_latency(self) -> int:
         return self._per_hop
@@ -144,18 +148,25 @@ class NetworkModel:
     ) -> int:
         """Record a multicast (unicast replication); return the worst latency.
 
-        Traffic is charged per destination; latency is the slowest
-        destination's, since the requester must wait for all responses.
+        Traffic is charged once per *distinct* destination (a repeated
+        core receives one copy of the message, however many times it
+        appears in ``dsts``); latency is the slowest destination's, since
+        the requester must wait for all responses.
         """
         if cycle - self._window_start >= self.window_cycles:
             self._advance_window(cycle)
-        try:
-            agg = self._mc_cache.get((src, dsts))
-        except TypeError:  # unhashable destination container
-            agg = self._aggregate_hops(src, dsts)
-        else:
-            if agg is None:
-                agg = self._mc_cache[(src, dsts)] = self._aggregate_hops(src, dsts)
+        if type(dsts) is not frozenset:
+            # Normalising to a frozenset dedupes repeated destinations and
+            # keys the cache by *value*. Anything else either fails to hash
+            # (lists, sets) or hashes by identity (a generator), which
+            # charged duplicates and grew the cache one dead entry per call.
+            dsts = frozenset(dsts)
+        key = (src, dsts)
+        agg = self._mc_cache.get(key)
+        if agg is None:
+            if len(self._mc_cache) >= self._mc_cache_max:
+                self._mc_cache.clear()
+            agg = self._mc_cache[key] = self._aggregate_hops(src, dsts)
         count, total_hops, worst_hops = agg
         if count:
             flit_hops = self._flits[kind] * total_hops
@@ -194,3 +205,4 @@ class NetworkModel:
         self._window_start = 0
         self._window_flit_hops = 0
         self._last_utilisation = 0.0
+        self._mc_cache.clear()

@@ -3,12 +3,21 @@
 from repro.sim.config import SimConfig
 from repro.sim.engine import SimulationEngine, run_simulation
 from repro.sim.runner import (
+    CampaignInterrupted,
+    CampaignSettings,
     SimTask,
+    TaskError,
+    TaskResult,
+    WorkerError,
+    campaign_settings,
     default_jobs,
     parallel_map,
     run_matrix,
+    run_matrix_detailed,
     run_simulation_task,
+    set_campaign,
     set_default_jobs,
+    task_key,
 )
 from repro.sim.stats import SimStats
 from repro.sim.system import (
@@ -20,6 +29,8 @@ from repro.sim.system import (
 )
 
 __all__ = [
+    "CampaignInterrupted",
+    "CampaignSettings",
     "CoherenceBridge",
     "HYPERVISOR_SPACE",
     "SimConfig",
@@ -27,12 +38,19 @@ __all__ = [
     "SimTask",
     "SimulatedSystem",
     "SimulationEngine",
+    "TaskError",
+    "TaskResult",
+    "WorkerError",
     "build_system",
+    "campaign_settings",
     "compute_friends",
     "default_jobs",
     "parallel_map",
     "run_matrix",
+    "run_matrix_detailed",
     "run_simulation",
     "run_simulation_task",
+    "set_campaign",
     "set_default_jobs",
+    "task_key",
 ]

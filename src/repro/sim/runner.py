@@ -20,13 +20,55 @@ Job-count resolution, in priority order:
 ``jobs=1`` never spawns processes: the same worker function runs inline,
 so the serial path *is* the parallel path minus the pool, and there is
 no separate code path to drift.
+
+Fault tolerance and campaigns
+-----------------------------
+
+:func:`run_matrix_detailed` is the fault-tolerant executor underneath
+:func:`run_matrix`. Each cell runs in its own worker process with its
+exceptions captured (a crash in one cell never discards the others),
+optional per-cell retries and a wall-clock timeout, and the whole matrix
+survives Ctrl-C: workers are terminated and the completed cells are
+returned via :class:`CampaignInterrupted`.
+
+With ``checkpoint_dir`` set, every completed cell is persisted as JSON
+keyed by a stable hash of its (config, app) pair, so re-running the same
+matrix skips the already-done cells — and, because the JSON round trip
+through :meth:`SimStats.to_dict` is lossless, a resumed matrix is
+bit-identical to an uninterrupted serial run. A ``manifest-*.json``
+per matrix records what ran: tasks, seeds, job count, git revision,
+per-cell wall-clock and µs/access, and failures. The campaign directory
+defaults to the ``REPRO_CAMPAIGN_DIR`` environment variable, or to the
+:func:`set_campaign` settings installed by ``repro-sim experiment
+--out/--resume/--retries/--task-timeout``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, TypeVar
+import pickle
+import subprocess
+import sys
+import time
+import traceback
+from collections import deque
+from enum import Enum
+from functools import partial
+from multiprocessing import connection
+from pathlib import Path
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
@@ -38,6 +80,9 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 JOBS_ENV_VAR = "REPRO_JOBS"
+CAMPAIGN_ENV_VAR = "REPRO_CAMPAIGN_DIR"
+MANIFEST_FORMAT = 1
+CHECKPOINT_FORMAT = 1
 
 _default_jobs: Optional[int] = None
 
@@ -94,6 +139,175 @@ def default_jobs() -> int:
     return parse_jobs(os.environ.get(JOBS_ENV_VAR))
 
 
+# ----------------------------------------------------------------------
+# Campaign settings (checkpoint directory, retries, timeout).
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSettings:
+    """Process-wide defaults applied when a matrix call omits them."""
+
+    checkpoint_dir: Optional[str] = None
+    retries: int = 0
+    task_timeout: Optional[float] = None
+    progress: bool = False
+
+
+_campaign: Optional[CampaignSettings] = None
+
+
+def set_campaign(settings: Optional[CampaignSettings]) -> None:
+    """Install campaign defaults (``None`` restores env-derived defaults)."""
+    global _campaign
+    _campaign = settings
+
+
+def campaign_settings() -> CampaignSettings:
+    """The campaign defaults in effect for ``run_matrix*`` calls."""
+    if _campaign is not None:
+        return _campaign
+    env_dir = os.environ.get(CAMPAIGN_ENV_VAR) or None
+    return CampaignSettings(checkpoint_dir=env_dir)
+
+
+# ----------------------------------------------------------------------
+# Errors and per-task results.
+# ----------------------------------------------------------------------
+
+
+class WorkerError(RuntimeError):
+    """A :func:`parallel_map` item failed; identifies which one.
+
+    ``index`` is the position in the input iterable, ``item`` the input
+    itself; the original exception is chained as ``__cause__`` when it
+    survived pickling back from the worker.
+    """
+
+    def __init__(self, index: int, item: object, message: str) -> None:
+        super().__init__(message)
+        self.index = index
+        self.item = item
+
+
+class TaskError(RuntimeError):
+    """A :func:`run_matrix` cell failed; carries the failing TaskResult."""
+
+    def __init__(self, result: "TaskResult") -> None:
+        task = result.task
+        super().__init__(
+            f"simulation task {result.index} (app={task.app!r}, "
+            f"policy={task.config.snoop_policy.value}, "
+            f"seed={task.config.seed}) failed after "
+            f"{result.attempts} attempt(s):\n{result.error}"
+        )
+        self.result = result
+        self.task = task
+        self.index = result.index
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a matrix; ``results`` holds the partial outcome.
+
+    Subclasses :class:`KeyboardInterrupt` so existing ``except
+    KeyboardInterrupt`` handlers (and the default traceback-and-exit)
+    still apply; cells not finished carry an ``interrupted`` error.
+    """
+
+    def __init__(self, results: List["TaskResult"]) -> None:
+        done = sum(1 for r in results if r.ok)
+        super().__init__(f"campaign interrupted with {done}/{len(results)} cells done")
+        self.results = results
+
+
+class TaskResult(NamedTuple):
+    """Outcome of one matrix cell, successful or not."""
+
+    index: int
+    task: SimTask
+    stats: Optional[SimStats]
+    error: Optional[str]  # traceback / reason text; None on success
+    attempts: int
+    wall_seconds: float
+    from_checkpoint: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.stats is not None
+
+
+# ----------------------------------------------------------------------
+# Stable task identity (checkpoint keys).
+# ----------------------------------------------------------------------
+
+
+def config_to_dict(config: SimConfig) -> dict:
+    """A JSON-serializable dict of every config field (enums by value)."""
+    out = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        out[field.name] = value.value if isinstance(value, Enum) else value
+    return out
+
+
+def task_key(task: SimTask) -> str:
+    """Stable content hash of one (config, app) cell.
+
+    The key depends only on field values — not on object identity or
+    field declaration order — so the same logical cell maps to the same
+    checkpoint file across processes, sessions and matrices.
+    """
+    payload = {"app": task.app, "config": config_to_dict(task.config)}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# parallel_map — generic order-preserving fan-out.
+# ----------------------------------------------------------------------
+
+
+class _WorkerFailure(NamedTuple):
+    """In-band failure marker returned by a worker instead of a result."""
+
+    index: int
+    error: Optional[BaseException]
+    traceback_text: str
+
+
+def _call_indexed(fn, pair):
+    """Run ``fn`` on one (index, item) pair, capturing any exception.
+
+    The failure travels back as a value so the parent learns *which*
+    task failed instead of an opaque remote traceback; the exception
+    object rides along when it pickles, for ``raise ... from`` chaining.
+    """
+    index, item = pair
+    try:
+        return fn(item)
+    except Exception as exc:
+        text = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = None
+        return _WorkerFailure(index, exc, text)
+
+
+def _raise_first_failure(results: Sequence[object], items: Sequence[object]) -> None:
+    for res in results:
+        if isinstance(res, _WorkerFailure):
+            item_text = repr(items[res.index])
+            if len(item_text) > 200:
+                item_text = item_text[:200] + "..."
+            raise WorkerError(
+                res.index,
+                items[res.index],
+                f"parallel task {res.index} ({item_text}) failed:\n"
+                f"{res.traceback_text}",
+            ) from res.error
+
+
 def parallel_map(
     fn: Callable[[T], R], items: Iterable[T], jobs: Optional[int] = None
 ) -> List[R]:
@@ -103,17 +317,458 @@ def parallel_map(
     module level, items built from plain data). Work is distributed over
     a process pool; results come back in input order regardless of
     completion order, so callers can zip them against their task lists.
+
+    A failing item raises :class:`WorkerError` naming its index and item
+    (identically at any job count, the serial path included), with the
+    worker's exception chained. Ctrl-C terminates the pool instead of
+    leaving workers joining indefinitely.
     """
     items = list(items)
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, min(jobs, len(items))) if items else 1
+    wrapped = partial(_call_indexed, fn)
     if jobs == 1:
-        return [fn(item) for item in items]
-    with multiprocessing.get_context().Pool(processes=jobs) as pool:
-        return pool.map(fn, items)
+        results = [wrapped(pair) for pair in enumerate(items)]
+        _raise_first_failure(results, items)
+        return results
+    pool = multiprocessing.get_context().Pool(processes=jobs)
+    try:
+        results = pool.map(wrapped, list(enumerate(items)))
+    except KeyboardInterrupt:
+        pool.terminate()
+        pool.join()
+        raise
+    else:
+        pool.close()
+        pool.join()
+    _raise_first_failure(results, items)
+    return results
 
 
-def run_matrix(tasks: Sequence[SimTask], jobs: Optional[int] = None) -> List[SimStats]:
-    """Run an experiment matrix; results align index-for-index with tasks."""
-    return parallel_map(run_simulation_task, tasks, jobs=jobs)
+# ----------------------------------------------------------------------
+# Checkpoint persistence.
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_path(checkpoint_dir: Path, key: str) -> Path:
+    return checkpoint_dir / f"{key}.json"
+
+
+def _save_checkpoint(path: Path, task: SimTask, key: str, stats: SimStats) -> None:
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "key": key,
+        "app": task.app,
+        "config": config_to_dict(task.config),
+        "stats": stats.to_dict(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_checkpoint(path: Path, key: str) -> Optional[SimStats]:
+    """The persisted stats of one cell, or None when absent/corrupt.
+
+    A checkpoint that fails to parse (truncated write, format drift, key
+    mismatch) is treated as missing — the cell simply reruns.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("format") != CHECKPOINT_FORMAT or payload.get("key") != key:
+            return None
+        return SimStats.from_dict(payload["stats"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Run manifest.
+# ----------------------------------------------------------------------
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _manifest_entry(result: TaskResult, key: str) -> dict:
+    task = result.task
+    us_per_access = None
+    if result.stats is not None and result.stats.l1_accesses and not result.from_checkpoint:
+        us_per_access = round(1e6 * result.wall_seconds / result.stats.l1_accesses, 3)
+    return {
+        "key": key,
+        "index": result.index,
+        "app": task.app,
+        "policy": task.config.snoop_policy.value,
+        "content_policy": task.config.content_policy.value,
+        "filter": task.config.filter_kind,
+        "migration_period_ms": task.config.migration_period_ms,
+        "seed": task.config.seed,
+        "ok": result.ok,
+        "from_checkpoint": result.from_checkpoint,
+        "attempts": result.attempts,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "us_per_access": us_per_access,
+        "error": result.error,
+    }
+
+
+def _write_manifest(
+    checkpoint_dir: Path,
+    label: Optional[str],
+    results: Sequence[TaskResult],
+    keys: Sequence[str],
+    jobs: int,
+    interrupted: bool,
+) -> Path:
+    """Persist what this matrix ran; named by label or matrix digest."""
+    if label is None:
+        digest = hashlib.sha256("".join(keys).encode("utf-8")).hexdigest()[:8]
+        name = f"manifest-{digest}.json"
+    else:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+        name = f"manifest-{safe}.json"
+    entries = [_manifest_entry(res, key) for res, key in zip(results, keys)]
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "label": label,
+        "written": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": _git_revision(),
+        "jobs": jobs,
+        "interrupted": interrupted,
+        "totals": {
+            "tasks": len(entries),
+            "ok": sum(1 for e in entries if e["ok"]),
+            "failed": sum(1 for e in entries if not e["ok"]),
+            "from_checkpoint": sum(1 for e in entries if e["from_checkpoint"]),
+            "wall_seconds": round(sum(e["wall_seconds"] for e in entries), 3),
+        },
+        "failures": [e["key"] for e in entries if not e["ok"]],
+        "tasks": entries,
+    }
+    path = checkpoint_dir / name
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Heartbeat progress.
+# ----------------------------------------------------------------------
+
+
+class _Progress:
+    """Rate-limited done/total + ETA lines on stderr."""
+
+    def __init__(
+        self,
+        total: int,
+        resumed: int,
+        enabled: bool,
+        label: Optional[str],
+        min_interval: float = 2.0,
+    ) -> None:
+        self.total = total
+        self.done = resumed
+        self.resumed = resumed
+        self.failed = 0
+        self.enabled = enabled
+        self.prefix = f"[campaign:{label}]" if label else "[campaign]"
+        self.min_interval = min_interval
+        self.start = time.monotonic()
+        self.last_emit = 0.0
+        if enabled and resumed:
+            print(
+                f"{self.prefix} resumed {resumed}/{total} cells from checkpoints",
+                file=sys.stderr,
+            )
+
+    def completed(self, result: TaskResult) -> None:
+        self.done += 1
+        if not result.ok:
+            self.failed += 1
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if self.done < self.total and now - self.last_emit < self.min_interval:
+            return
+        self.last_emit = now
+        elapsed = now - self.start
+        fresh = self.done - self.resumed
+        if fresh > 0 and self.done < self.total:
+            eta = f", eta {elapsed / fresh * (self.total - self.done):.0f}s"
+        else:
+            eta = ""
+        failed = f", {self.failed} failed" if self.failed else ""
+        print(
+            f"{self.prefix} {self.done}/{self.total} done{failed}, "
+            f"{elapsed:.0f}s elapsed{eta}",
+            file=sys.stderr,
+        )
+
+
+# ----------------------------------------------------------------------
+# The fault-tolerant executor.
+# ----------------------------------------------------------------------
+
+
+def _detailed_child(conn, task_fn, index, task, retries):
+    """Child-process body: run one cell with retries, report over the pipe."""
+    start = time.perf_counter()
+    error = None
+    attempts = 0
+    for attempt in range(1, max(retries, 0) + 2):
+        attempts = attempt
+        try:
+            stats = task_fn(task)
+        except Exception:
+            error = traceback.format_exc()
+        else:
+            conn.send((index, stats, None, attempts, time.perf_counter() - start))
+            conn.close()
+            return
+    conn.send((index, None, error, attempts, time.perf_counter() - start))
+    conn.close()
+
+
+def _run_serial(tasks, indices, task_fn, retries, on_complete):
+    """Inline execution; identical capture semantics, no processes.
+
+    ``KeyboardInterrupt`` propagates to the caller after the completed
+    cells have been reported (and therefore checkpointed).
+    """
+    for i in indices:
+        start = time.perf_counter()
+        stats = None
+        error = None
+        attempts = 0
+        for attempt in range(1, max(retries, 0) + 2):
+            attempts = attempt
+            try:
+                stats = task_fn(tasks[i])
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                error = traceback.format_exc()
+            else:
+                error = None
+                break
+        on_complete(
+            TaskResult(i, tasks[i], stats, error, attempts, time.perf_counter() - start, False)
+        )
+
+
+def _run_parallel(tasks, indices, jobs, task_fn, retries, task_timeout, on_complete):
+    """One worker process per cell, at most ``jobs`` alive at a time.
+
+    Process-per-task (rather than a shared pool) is what makes the
+    guarantees enforceable: a cell that exceeds ``task_timeout`` is
+    terminated without disturbing its siblings, a worker that dies
+    abruptly is detected through pipe EOF + exit code, and Ctrl-C
+    terminates exactly the processes still running.
+    """
+    ctx = multiprocessing.get_context()
+    queue = deque(indices)
+    running = {}  # index -> (process, parent_conn, monotonic start)
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                i = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_detailed_child,
+                    args=(child_conn, task_fn, i, tasks[i], retries),
+                )
+                proc.start()
+                child_conn.close()
+                running[i] = (proc, parent_conn, time.monotonic())
+            by_conn = {conn: i for i, (_, conn, _) in running.items()}
+            ready = connection.wait(list(by_conn), timeout=0.25)
+            now = time.monotonic()
+            for conn in ready:
+                i = by_conn[conn]
+                proc, _, started = running.pop(i)
+                try:
+                    _, stats, error, attempts, wall = conn.recv()
+                except EOFError:
+                    proc.join()
+                    on_complete(
+                        TaskResult(
+                            i,
+                            tasks[i],
+                            None,
+                            "worker died before reporting a result "
+                            f"(exit code {proc.exitcode})",
+                            1,
+                            now - started,
+                            False,
+                        )
+                    )
+                else:
+                    proc.join()
+                    on_complete(TaskResult(i, tasks[i], stats, error, attempts, wall, False))
+                finally:
+                    conn.close()
+            if task_timeout is not None:
+                for i, (proc, conn, started) in list(running.items()):
+                    if now - started >= task_timeout:
+                        proc.terminate()
+                        proc.join()
+                        conn.close()
+                        del running[i]
+                        on_complete(
+                            TaskResult(
+                                i,
+                                tasks[i],
+                                None,
+                                f"timed out after {task_timeout:g}s",
+                                1,
+                                now - started,
+                                False,
+                            )
+                        )
+    except BaseException:
+        for proc, _, _ in running.values():
+            proc.terminate()
+        for proc, conn, _ in running.values():
+            proc.join()
+            conn.close()
+        raise
+
+
+def run_matrix_detailed(
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    *,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    label: Optional[str] = None,
+    task_fn: Callable[[SimTask], SimStats] = run_simulation_task,
+    progress: Optional[bool] = None,
+) -> List[TaskResult]:
+    """Run a matrix with per-cell fault isolation; never loses a cell.
+
+    Returns one :class:`TaskResult` per task, index-aligned. A cell that
+    raises (or whose worker dies, or exceeds ``task_timeout``) yields a
+    result with ``error`` set while every other cell completes normally.
+    ``retries`` reruns a failing cell in place before recording it.
+
+    With ``checkpoint_dir``, completed cells are persisted as JSON and
+    skipped on the next run (``from_checkpoint=True``), and a manifest
+    is written when the matrix finishes — or is interrupted, in which
+    case :class:`CampaignInterrupted` carries the partial results.
+
+    ``task_timeout`` needs worker processes to enforce, so it is ignored
+    on the inline ``jobs=1`` path.
+    """
+    tasks = list(tasks)
+    settings = campaign_settings()
+    if checkpoint_dir is None:
+        checkpoint_dir = settings.checkpoint_dir
+    if retries is None:
+        retries = settings.retries
+    if task_timeout is None:
+        task_timeout = settings.task_timeout
+    if progress is None:
+        progress = settings.progress
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, min(jobs, len(tasks))) if tasks else 1
+
+    keys = [task_key(task) for task in tasks]
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    ckpt = Path(checkpoint_dir) if checkpoint_dir else None
+    to_run: List[int] = []
+    if ckpt is not None:
+        ckpt.mkdir(parents=True, exist_ok=True)
+        for i, task in enumerate(tasks):
+            stats = _load_checkpoint(_checkpoint_path(ckpt, keys[i]), keys[i])
+            if stats is not None:
+                results[i] = TaskResult(i, task, stats, None, 0, 0.0, True)
+            else:
+                to_run.append(i)
+    else:
+        to_run = list(range(len(tasks)))
+
+    reporter = _Progress(
+        total=len(tasks),
+        resumed=len(tasks) - len(to_run),
+        enabled=bool(progress),
+        label=label,
+    )
+
+    def on_complete(result: TaskResult) -> None:
+        if result.ok and ckpt is not None:
+            _save_checkpoint(
+                _checkpoint_path(ckpt, keys[result.index]),
+                result.task,
+                keys[result.index],
+                result.stats,
+            )
+        results[result.index] = result
+        reporter.completed(result)
+
+    try:
+        if jobs == 1:
+            _run_serial(tasks, to_run, task_fn, retries, on_complete)
+        else:
+            _run_parallel(tasks, to_run, jobs, task_fn, retries, task_timeout, on_complete)
+    except KeyboardInterrupt:
+        partial = [
+            res
+            if res is not None
+            else TaskResult(i, tasks[i], None, "interrupted before completion", 0, 0.0, False)
+            for i, res in enumerate(results)
+        ]
+        if ckpt is not None:
+            _write_manifest(ckpt, label, partial, keys, jobs, interrupted=True)
+        raise CampaignInterrupted(partial) from None
+
+    final = [res for res in results if res is not None]
+    assert len(final) == len(tasks), "executor lost a cell"
+    if ckpt is not None:
+        _write_manifest(ckpt, label, final, keys, jobs, interrupted=False)
+    return final
+
+
+def run_matrix(
+    tasks: Sequence[SimTask],
+    jobs: Optional[int] = None,
+    *,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    label: Optional[str] = None,
+) -> List[SimStats]:
+    """Run an experiment matrix; results align index-for-index with tasks.
+
+    Built on :func:`run_matrix_detailed`, so checkpointing, retries and
+    interrupt handling apply; a cell that still fails raises
+    :class:`TaskError` identifying the task (after every other cell has
+    completed — and, with a checkpoint directory, been persisted).
+    """
+    detailed = run_matrix_detailed(
+        tasks,
+        jobs=jobs,
+        retries=retries,
+        task_timeout=task_timeout,
+        checkpoint_dir=checkpoint_dir,
+        label=label,
+    )
+    for result in detailed:
+        if not result.ok:
+            raise TaskError(result)
+    return [result.stats for result in detailed]

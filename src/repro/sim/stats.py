@@ -8,12 +8,19 @@ vCPU-map removals (Figures 7-9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List
 
 from repro.coherence.stats import CoherenceStats
 from repro.mem.pagetype import PageType
 from repro.workloads.trace import Initiator
+
+# Enum types keying the per-field dicts; serialized by enum value so the
+# JSON round trip through to_dict/from_dict is lossless.
+_ENUM_KEYED = {
+    "l1_accesses_by_page_type": PageType,
+    "transactions_by_initiator": Initiator,
+}
 
 
 @dataclass(slots=True)
@@ -36,6 +43,48 @@ class SimStats:
     network_bytes: int = 0
     network_messages: int = 0
     removal_periods_cycles: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Serialization — the JSON artifact one campaign cell persists.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Every field as JSON-serializable data.
+
+        Enum-keyed dicts are keyed by enum value, the nested
+        :class:`CoherenceStats` becomes a nested dict, and lists are
+        copied; ``SimStats.from_dict(s.to_dict()) == s`` for any stats a
+        simulation can produce.
+        """
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "coherence":
+                out[f.name] = value.to_dict()
+            elif f.name in _ENUM_KEYED:
+                out[f.name] = {key.value: count for key, count in value.items()}
+            elif isinstance(value, list):
+                out[f.name] = list(value)
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimStats fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "coherence" in kwargs:
+            kwargs["coherence"] = CoherenceStats.from_dict(kwargs["coherence"])
+        for name, enum_type in _ENUM_KEYED.items():
+            if name in kwargs:
+                kwargs[name] = {
+                    enum_type(key): count for key, count in kwargs[name].items()
+                }
+        return cls(**kwargs)
 
     # ------------------------------------------------------------------
     # Derived metrics, named after the paper's figures.

@@ -75,6 +75,67 @@ class TestNetworkAccounting:
         assert self.net.bytes_transferred == 0
 
 
+class TestMulticastDestinations:
+    """Traffic is charged once per *distinct* destination, however the
+    destinations are passed (regression for duplicate / generator
+    containers double-charging and polluting the plan cache)."""
+
+    def setup_method(self):
+        self.net = NetworkModel(MeshTopology(4, 4))
+
+    def _fresh(self):
+        return NetworkModel(MeshTopology(4, 4))
+
+    def test_duplicates_charged_once(self):
+        deduped = self._fresh()
+        duplicated = self._fresh()
+        latency_a = deduped.multicast(0, frozenset({1, 15}), MessageKind.REQUEST)
+        latency_b = duplicated.multicast(0, [1, 1, 15, 15, 15], MessageKind.REQUEST)
+        assert latency_a == latency_b
+        assert duplicated.messages == deduped.messages == 2
+        assert duplicated.flit_hops == deduped.flit_hops == 1 + 6
+        assert duplicated.bytes_transferred == deduped.bytes_transferred
+
+    def test_generator_destinations(self):
+        net = self._fresh()
+        net.multicast(0, (d for d in (1, 15)), MessageKind.REQUEST)
+        assert net.messages == 2
+        assert net.flit_hops == 1 + 6
+
+    def test_generator_does_not_grow_cache(self):
+        net = self._fresh()
+        for _ in range(50):
+            net.multicast(0, (d for d in (1, 15)), MessageKind.REQUEST)
+        assert len(net._mc_cache) == 1
+
+    def test_frozenset_callers_bit_identical_to_list_callers(self):
+        plan = frozenset({1, 2, 3, 15})
+        by_frozenset = self._fresh()
+        by_list = self._fresh()
+        for cycle in range(0, 100, 5):
+            lat_a = by_frozenset.multicast(0, plan, MessageKind.REQUEST, cycle)
+            lat_b = by_list.multicast(0, sorted(plan), MessageKind.REQUEST, cycle)
+            assert lat_a == lat_b
+        assert by_frozenset.messages == by_list.messages
+        assert by_frozenset.flit_hops == by_list.flit_hops
+        assert by_frozenset.bytes_transferred == by_list.bytes_transferred
+
+    def test_cache_bounded(self):
+        net = self._fresh()
+        net._mc_cache_max = 8
+        for dst in range(1, 16):
+            for other in range(1, 16):
+                net.multicast(0, [dst, other], MessageKind.REQUEST)
+        assert len(net._mc_cache) <= 8
+
+    def test_reset_clears_cache(self):
+        net = self._fresh()
+        net.multicast(0, [1, 15], MessageKind.REQUEST)
+        assert net._mc_cache
+        net.reset()
+        assert not net._mc_cache
+
+
 class TestContention:
     def test_idle_network_no_delay(self):
         net = NetworkModel(MeshTopology(4, 4))

@@ -1,7 +1,11 @@
 """Tests for simulation-level statistics."""
 
+import dataclasses
+import json
+
 import pytest
 
+from repro.coherence.stats import CoherenceStats
 from repro.mem.pagetype import PageType
 from repro.sim.stats import SimStats
 from repro.workloads.trace import Initiator
@@ -47,3 +51,66 @@ class TestDerivedMetrics:
         stats.l1_accesses = 100
         stats.coherence.record_transaction(PageType.VM_PRIVATE, is_write=False)
         assert stats.miss_rate() == pytest.approx(0.01)
+
+
+class TestSerialization:
+    """The JSON round trip campaign checkpoints rely on must be lossless."""
+
+    def test_empty_stats_round_trip(self):
+        stats = SimStats()
+        assert SimStats.from_dict(stats.to_dict()) == stats
+
+    def test_real_simulation_round_trip(self):
+        # Stats produced by an actual run: enum-keyed dicts populated,
+        # nested CoherenceStats counters, removal-period lists included.
+        from repro.core.filter import SnoopPolicy
+        from repro.sim import SimConfig, SimTask, run_simulation_task
+
+        task = SimTask(
+            SimConfig.migration_study(
+                snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+                migration_period_ms=0.05,
+                accesses_per_vcpu=8_000,
+                warmup_accesses_per_vcpu=500,
+            ),
+            "fft",
+        )
+        stats = run_simulation_task(task)
+        assert stats.removal_periods_cycles, "fixture must exercise removals"
+        assert stats.migrations > 0
+        restored = SimStats.from_dict(stats.to_dict())
+        assert restored == stats
+        for field in dataclasses.fields(stats):
+            assert getattr(restored, field.name) == getattr(stats, field.name), field.name
+
+    def test_round_trip_survives_json(self):
+        stats = SimStats()
+        stats.l1_accesses = 7
+        stats.l1_accesses_by_page_type[PageType.RO_SHARED] = 3
+        stats.transactions_by_initiator[Initiator.DOM0] = 2
+        stats.removal_periods_cycles = [10, 20, 30]
+        stats.coherence.record_transaction(PageType.RW_SHARED, is_write=True)
+        stats.coherence.record_snoops(5, PageType.RW_SHARED)
+        encoded = json.dumps(stats.to_dict(), sort_keys=True)
+        assert SimStats.from_dict(json.loads(encoded)) == stats
+
+    def test_to_dict_covers_every_field(self):
+        data = SimStats().to_dict()
+        assert set(data) == {f.name for f in dataclasses.fields(SimStats)}
+        coherence = data["coherence"]
+        assert set(coherence) == {f.name for f in dataclasses.fields(CoherenceStats)}
+
+    def test_unknown_keys_rejected(self):
+        data = SimStats().to_dict()
+        data["not_a_field"] = 1
+        with pytest.raises(ValueError, match="not_a_field"):
+            SimStats.from_dict(data)
+        coherence = CoherenceStats().to_dict()
+        coherence["bogus"] = 2
+        with pytest.raises(ValueError, match="bogus"):
+            CoherenceStats.from_dict(coherence)
+
+    def test_enum_keys_serialized_by_value(self):
+        data = SimStats().to_dict()
+        assert set(data["l1_accesses_by_page_type"]) == {t.value for t in PageType}
+        assert set(data["transactions_by_initiator"]) == {i.value for i in Initiator}
