@@ -102,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--warmup", type=int, default=6_000,
                          help="warm-up accesses per vCPU")
         cmd.add_argument("--seed", type=int, default=42)
+        cmd.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime coherence sanitizer "
+                         "(ground-truth residence shadow + snoop-filter "
+                         "safety/residence/SWMR/domain invariant checks)")
+        cmd.add_argument("--sanitize-mode", default="raise",
+                         choices=("raise", "count"),
+                         help="fail fast on the first violation (raise) or "
+                         "count violations into the stats for soak runs")
 
     run = sub.add_parser("run", help="run one coherence simulation")
     add_sim_args(run)
@@ -175,6 +183,8 @@ def _config_from_args(args: argparse.Namespace):
         accesses_per_vcpu=args.accesses,
         warmup_accesses_per_vcpu=args.warmup,
         seed=args.seed,
+        sanitize=args.sanitize,
+        sanitize_mode=args.sanitize_mode,
     )
 
 
@@ -206,7 +216,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         ("migrations", stats.migrations),
         ("cow events", stats.cow_events),
     ]
+    sanitizer = system.sanitizer
+    if sanitizer is not None:
+        summary = sanitizer.summary()
+        rows.extend([
+            ("sanitizer plans checked", summary["plans_checked"]),
+            ("sanitizer transactions checked", summary["transactions_checked"]),
+            ("sanitizer residence events checked", summary["events_checked"]),
+            ("sanitizer filter misses (speculative)", summary["filter_misses"]),
+            ("sanitizer retried filter misses", summary["retried_filter_misses"]),
+            ("sanitizer violations", summary["violations"]),
+        ])
     print(render_table(["metric", "value"], rows, title=f"{args.app} / {args.policy}"))
+    if sanitizer is not None and sanitizer.violation_count:
+        print(
+            f"sanitizer recorded {sanitizer.violation_count} violation(s):",
+            file=sys.stderr,
+        )
+        for violation in sanitizer.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -282,11 +311,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     system = build_system(config, get_profile(args.app))
     profiler = cProfile.Profile()
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RPL004; real-time profiling
     profiler.enable()
     run_simulation(system)
     profiler.disable()
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RPL004; real-time profiling
     stream = io.StringIO()
     pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(args.top)
     print(stream.getvalue().rstrip())

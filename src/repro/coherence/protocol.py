@@ -19,7 +19,7 @@ provider copy when one is inside the destination set, else from memory.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import AbstractSet, Dict, Optional
 
 from repro.cache.hierarchy import PrivateHierarchy
 from repro.cache.line import CacheLine
@@ -238,7 +238,7 @@ class TokenProtocol:
     def _try_getm(self, core, block, destinations, cycle):
         state = self.registry.state_of(block)
         if state is None:
-            sharers: frozenset = frozenset()
+            sharers: AbstractSet[int] = frozenset()
             owner = MEMORY
         else:
             sharers = state.sharers

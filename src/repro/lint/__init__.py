@@ -1,0 +1,31 @@
+"""repro-lint: a small AST lint for simulation reproducibility hazards.
+
+Six rules (``repro-lint --list-rules``) catch the specific ways this
+codebase could silently lose run-to-run determinism: unordered set
+iteration feeding ordered decisions, the shared global RNG, id()-keyed
+caches, wall-clock reads in simulation logic, mutable default arguments,
+and stats serializers not keyed by enum ``.value``. Suppress a
+deliberate use with a same-line ``# repro-lint: disable=CODE`` comment.
+"""
+
+from repro.lint.checker import (
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import RULES, RULES_BY_CODE, RULES_BY_NAME, Rule, resolve_rule
+
+__all__ = [
+    "RULES",
+    "RULES_BY_CODE",
+    "RULES_BY_NAME",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "resolve_rule",
+]

@@ -1,0 +1,22 @@
+"""Runtime coherence sanitizer: proves snoop-filter safety during runs.
+
+Enable via ``SimConfig(sanitize=True)`` or ``repro-sim run --sanitize``.
+See :mod:`repro.sanitizer.core` for the invariant catalogue.
+"""
+
+from repro.sanitizer.core import (
+    MAX_KEPT_VIOLATIONS,
+    CoherenceSanitizer,
+    attach_sanitizer,
+)
+from repro.sanitizer.shadow import ShadowCache
+from repro.sanitizer.violation import SanitizerCheck, SanitizerViolation
+
+__all__ = [
+    "MAX_KEPT_VIOLATIONS",
+    "CoherenceSanitizer",
+    "SanitizerCheck",
+    "SanitizerViolation",
+    "ShadowCache",
+    "attach_sanitizer",
+]

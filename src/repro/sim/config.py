@@ -72,6 +72,14 @@ class SimConfig:
     hypervisor_activity_enabled: bool = False
     working_set_scale: float = 1.0
     seed: int = 42
+    # Opt-in runtime coherence sanitizer (repro.sanitizer): maintains
+    # ground-truth line residence beside the caches and asserts snoop-
+    # filter safety, residence-counter consistency, SWMR/state and
+    # domain-soundness invariants on every transaction. "raise" fails
+    # fast on the first violation; "count" records violations into
+    # SimStats.sanitizer_violations for soak runs.
+    sanitize: bool = False
+    sanitize_mode: str = "raise"
 
     def __post_init__(self) -> None:
         if self.num_cores != self.mesh_width * self.mesh_height:
@@ -91,6 +99,11 @@ class SimConfig:
             raise ValueError("need at least one VM")
         if self.filter_kind not in ("vsnoop", "regionscout"):
             raise ValueError(f"unknown filter_kind {self.filter_kind!r}")
+        if self.sanitize_mode not in ("raise", "count"):
+            raise ValueError(
+                f"sanitize_mode must be 'raise' or 'count', got "
+                f"{self.sanitize_mode!r}"
+            )
 
     @property
     def migration_period_cycles(self) -> Optional[int]:

@@ -56,6 +56,15 @@ class SimulationEngine:
         self._mem_translate = self._memory.translate
         self._plan = system.snoop_filter.plan
         self._execute = system.protocol.execute
+        # Opt-in coherence sanitizer: when attached, every plan and
+        # transaction goes through its checked wrappers (pure observers —
+        # latency, traffic and RNG draws are untouched, so stats stay
+        # bit-identical to an unsanitized run).
+        self._sanitizer = system.sanitizer
+        if self._sanitizer is not None:
+            self._sanitizer.clock = lambda: self.now
+            self._plan = self._sanitizer.wrap_plan(self._plan)
+            self._execute = self._sanitizer.wrap_execute(self._execute)
         self._handle_eviction = system.protocol.handle_eviction
         self._write_to_page = system.hypervisor.write_to_page
         layout = system.layout
@@ -427,6 +436,10 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _finalise(self) -> None:
+        if self._sanitizer is not None:
+            # Full-state audit: recompute every invariant from the actual
+            # cache lines, proving the incremental shadow never drifted.
+            self._sanitizer.audit()
         stats = self.stats
         system = self.system
         stats.network_bytes = system.network.bytes_transferred

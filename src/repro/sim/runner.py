@@ -487,7 +487,7 @@ class _Progress:
         self.enabled = enabled
         self.prefix = f"[campaign:{label}]" if label else "[campaign]"
         self.min_interval = min_interval
-        self.start = time.monotonic()
+        self.start = time.monotonic()  # repro-lint: disable=RPL004; progress ETA only
         self.last_emit = 0.0
         if enabled and resumed:
             print(
@@ -501,7 +501,7 @@ class _Progress:
             self.failed += 1
         if not self.enabled:
             return
-        now = time.monotonic()
+        now = time.monotonic()  # repro-lint: disable=RPL004; progress ETA only
         if self.done < self.total and now - self.last_emit < self.min_interval:
             return
         self.last_emit = now
@@ -526,7 +526,7 @@ class _Progress:
 
 def _detailed_child(conn, task_fn, index, task, retries):
     """Child-process body: run one cell with retries, report over the pipe."""
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=RPL004; cell runtime metric
     error = None
     attempts = 0
     for attempt in range(1, max(retries, 0) + 2):
@@ -536,10 +536,10 @@ def _detailed_child(conn, task_fn, index, task, retries):
         except Exception:
             error = traceback.format_exc()
         else:
-            conn.send((index, stats, None, attempts, time.perf_counter() - start))
+            conn.send((index, stats, None, attempts, time.perf_counter() - start))  # repro-lint: disable=RPL004; cell runtime metric
             conn.close()
             return
-    conn.send((index, None, error, attempts, time.perf_counter() - start))
+    conn.send((index, None, error, attempts, time.perf_counter() - start))  # repro-lint: disable=RPL004; cell runtime metric
     conn.close()
 
 
@@ -550,7 +550,7 @@ def _run_serial(tasks, indices, task_fn, retries, on_complete):
     cells have been reported (and therefore checkpointed).
     """
     for i in indices:
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: disable=RPL004; cell runtime metric
         stats = None
         error = None
         attempts = 0
@@ -566,7 +566,7 @@ def _run_serial(tasks, indices, task_fn, retries, on_complete):
                 error = None
                 break
         on_complete(
-            TaskResult(i, tasks[i], stats, error, attempts, time.perf_counter() - start, False)
+            TaskResult(i, tasks[i], stats, error, attempts, time.perf_counter() - start, False)  # repro-lint: disable=RPL004; cell runtime metric
         )
 
 
@@ -593,10 +593,10 @@ def _run_parallel(tasks, indices, jobs, task_fn, retries, task_timeout, on_compl
                 )
                 proc.start()
                 child_conn.close()
-                running[i] = (proc, parent_conn, time.monotonic())
+                running[i] = (proc, parent_conn, time.monotonic())  # repro-lint: disable=RPL004; stall watchdog
             by_conn = {conn: i for i, (_, conn, _) in running.items()}
             ready = connection.wait(list(by_conn), timeout=0.25)
-            now = time.monotonic()
+            now = time.monotonic()  # repro-lint: disable=RPL004; stall watchdog
             for conn in ready:
                 i = by_conn[conn]
                 proc, _, started = running.pop(i)

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from repro.coherence.stats import CoherenceStats
 from repro.mem.pagetype import PageType
+from repro.sanitizer.violation import SanitizerCheck
 from repro.workloads.trace import Initiator
 
 # Enum types keying the per-field dicts; serialized by enum value so the
@@ -43,6 +44,11 @@ class SimStats:
     network_bytes: int = 0
     network_messages: int = 0
     removal_periods_cycles: List[int] = field(default_factory=list)
+    # Violations recorded by the coherence sanitizer in counting mode,
+    # keyed by check. Empty whenever the sanitizer is off (or clean), and
+    # omitted from to_dict() in that case so sanitizer-less artifacts stay
+    # bit-identical to earlier releases.
+    sanitizer_violations: Dict[SanitizerCheck, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Serialization — the JSON artifact one campaign cell persists.
@@ -61,6 +67,9 @@ class SimStats:
             value = getattr(self, f.name)
             if f.name == "coherence":
                 out[f.name] = value.to_dict()
+            elif f.name == "sanitizer_violations":
+                if value:
+                    out[f.name] = {check.value: count for check, count in value.items()}
             elif f.name in _ENUM_KEYED:
                 out[f.name] = {key.value: count for key, count in value.items()}
             elif isinstance(value, list):
@@ -79,6 +88,11 @@ class SimStats:
         kwargs = dict(data)
         if "coherence" in kwargs:
             kwargs["coherence"] = CoherenceStats.from_dict(kwargs["coherence"])
+        if "sanitizer_violations" in kwargs:
+            kwargs["sanitizer_violations"] = {
+                SanitizerCheck(key): count
+                for key, count in kwargs["sanitizer_violations"].items()
+            }
         for name, enum_type in _ENUM_KEYED.items():
             if name in kwargs:
                 kwargs[name] = {

@@ -10,9 +10,9 @@ Section VI requires).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cache.hierarchy import PrivateHierarchy
 from repro.coherence.protocol import TokenProtocol
@@ -30,6 +30,9 @@ from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.workloads.generator import VmWorkload
 from repro.workloads.profiles import AppProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitizer.core import CoherenceSanitizer
 
 HYPERVISOR_SPACE = -10
 """Address-space id for the hypervisor's own (globally RW-shared) pages."""
@@ -152,6 +155,8 @@ class SimulatedSystem:
     vms: List[VirtualMachine]
     workloads: Dict[int, VmWorkload]
     stats: SimStats
+    # Attached by repro.sanitizer.attach_sanitizer when config.sanitize.
+    sanitizer: Optional["CoherenceSanitizer"] = field(default=None)
 
 
 def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
@@ -258,7 +263,7 @@ def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
             for vm_id, friend in friends.items():
                 snoop_filter.set_friend(vm_id, friend)
 
-    return SimulatedSystem(
+    system = SimulatedSystem(
         config=config,
         profile=profile,
         layout=layout,
@@ -274,3 +279,8 @@ def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
         workloads=workloads,
         stats=stats,
     )
+    if config.sanitize:
+        from repro.sanitizer import attach_sanitizer
+
+        attach_sanitizer(system, mode=config.sanitize_mode)
+    return system

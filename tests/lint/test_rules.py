@@ -1,0 +1,202 @@
+"""Every repro-lint rule must fire on a minimal bad snippet, stay quiet
+on the idiomatic fix, and honour a same-line suppression comment."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, lint_paths, lint_source, resolve_rule
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(source: str):
+    return [v.rule.code for v in lint_source(textwrap.dedent(source))]
+
+
+# ----------------------------------------------------------------------
+# Rule firing / clean pairs.
+# ----------------------------------------------------------------------
+
+
+def test_set_iteration_fires():
+    assert codes("for x in {1, 2, 3}:\n    print(x)\n") == ["RPL001"]
+    assert codes("out = [x for x in set(items)]\n") == ["RPL001"]
+    assert codes("out = {x for x in frozenset(items)}\n") == ["RPL001"]
+
+
+def test_set_iteration_clean_on_sorted():
+    assert codes("for x in sorted({1, 2, 3}):\n    print(x)\n") == []
+    assert codes("for x in [1, 2, 3]:\n    print(x)\n") == []
+
+
+def test_unseeded_random_fires():
+    assert codes("import random\nrandom.shuffle(xs)\n") == ["RPL002"]
+    assert codes("import random as rnd\nrnd.randint(0, 9)\n") == ["RPL002"]
+    assert codes("from random import randint\nrandint(0, 9)\n") == ["RPL002"]
+
+
+def test_unseeded_random_clean_on_instance():
+    assert codes("import random\nrng = random.Random(42)\nrng.shuffle(xs)\n") == []
+    assert codes("from random import Random\nrng = Random(7)\n") == []
+
+
+def test_id_keyed_cache_fires():
+    assert codes("cache[id(obj)] = 1\n") == ["RPL003"]
+    assert codes("d = {id(obj): 1}\n") == ["RPL003"]
+    assert codes("cache.get(id(obj))\n") == ["RPL003"]
+    assert codes("cache.setdefault(id(obj), [])\n") == ["RPL003"]
+
+
+def test_id_keyed_cache_clean_on_stable_key():
+    assert codes("cache[obj.block] = 1\n") == []
+    assert codes("x = id(obj)\n") == []  # bare id() is not a cache key
+
+
+def test_wall_clock_fires():
+    assert codes("import time\nt = time.time()\n") == ["RPL004"]
+    assert codes("import time\nt = time.perf_counter()\n") == ["RPL004"]
+    assert codes("from time import monotonic\nt = monotonic()\n") == ["RPL004"]
+    assert codes(
+        "import datetime\nnow = datetime.datetime.now()\n"
+    ) == ["RPL004"]
+
+
+def test_wall_clock_clean_on_simulated_clock():
+    assert codes("t = engine.now\n") == []
+    assert codes("import time\ntime.sleep(0)\n") == []  # sleeping is not reading
+
+
+def test_mutable_default_fires():
+    assert codes("def f(x=[]):\n    return x\n") == ["RPL005"]
+    assert codes("def f(x={}):\n    return x\n") == ["RPL005"]
+    assert codes("def f(*, x=set()):\n    return x\n") == ["RPL005"]
+    assert codes("def f(x=dict()):\n    return x\n") == ["RPL005"]
+    assert codes(
+        "from collections import defaultdict\n"
+        "def f(x=defaultdict(int)):\n    return x\n"
+    ) == ["RPL005"]
+
+
+def test_mutable_default_clean_on_none():
+    assert codes("def f(x=None):\n    return x or []\n") == []
+    assert codes("def f(x=()):\n    return x\n") == []  # tuples are immutable
+    assert codes("def f(x=frozenset()):\n    return x\n") == []
+
+
+def test_stats_enum_key_fires():
+    bad = """
+    def to_dict(self):
+        return {k: v for k, v in self.counts.items()}
+    """
+    assert codes(bad) == ["RPL006"]
+
+
+def test_stats_enum_key_clean_on_enum_value():
+    good = """
+    def to_dict(self):
+        return {k.value: v for k, v in self.counts.items()}
+    """
+    assert codes(good) == []
+    named = """
+    def as_dict(self):
+        return {k.name: v for k, v in self.counts.items()}
+    """
+    assert codes(named) == []
+
+
+def test_stats_enum_key_only_in_serializers():
+    elsewhere = "def helper(d):\n    return {k: v for k, v in d.items()}\n"
+    assert codes(elsewhere) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("token", ["RPL005", "mutable-default"])
+def test_suppression_by_code_and_name(token):
+    source = f"def f(x=[]):  # repro-lint: disable={token}\n    return x\n"
+    assert codes(source) == []
+
+
+def test_suppression_only_covers_its_line():
+    source = (
+        "def f(x=[]):  # repro-lint: disable=RPL005\n"
+        "    return x\n"
+        "def g(y=[]):\n"
+        "    return y\n"
+    )
+    assert codes(source) == ["RPL005"]
+
+
+def test_suppression_with_multiple_codes():
+    source = (
+        "import random\n"
+        "def f(x=[]):  # repro-lint: disable=RPL005, RPL002\n"
+        "    return random.random()\n"
+    )
+    # The RPL002 call is on the *next* line, so only RPL005 is silenced.
+    assert codes(source) == ["RPL002"]
+
+
+def test_unknown_suppression_token_is_reported():
+    source = "x = 1  # repro-lint: disable=RPL999\n"
+    assert codes(source) == ["RPL000"]
+
+
+def test_mentioning_syntax_in_string_is_not_a_suppression():
+    source = (
+        "def f(x=[]):\n"
+        "    return 'silence with # repro-lint: disable=RPL005'\n"
+    )
+    assert codes(source) == ["RPL005"]
+
+
+# ----------------------------------------------------------------------
+# Catalogue and whole-tree contract.
+# ----------------------------------------------------------------------
+
+
+def test_rule_catalogue_resolves_by_code_and_name():
+    for rule in RULES:
+        assert resolve_rule(rule.code) is rule
+        assert resolve_rule(rule.name) is rule
+    with pytest.raises(KeyError):
+        resolve_rule("RPL999")
+
+
+def test_src_tree_is_lint_clean():
+    violations = lint_paths([str(SRC)])
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_cli_json_mode(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint.cli", str(bad), "--json"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert [v["code"] for v in payload] == ["RPL005"]
+    assert payload[0]["line"] == 1
+
+
+def test_cli_exit_zero_on_clean(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text("def f(x=None):\n    return x\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint.cli", str(good)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert proc.stdout.strip() == ""

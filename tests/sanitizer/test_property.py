@@ -1,0 +1,56 @@
+"""Property test: under randomly drawn migration-heavy configurations,
+every policy runs sanitizer-clean AND the sanitizer leaves the simulation
+bit-identical to a sanitizer-less run of the same configuration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filter import SnoopPolicy
+from repro.sim import SimConfig, build_system
+from repro.sim.engine import SimulationEngine
+from repro.workloads import get_profile
+
+configs = st.fixed_dictionaries(
+    {
+        "snoop_policy": st.sampled_from(list(SnoopPolicy)),
+        "seed": st.integers(0, 2**16),
+        "migration_period_ms": st.sampled_from([0.02, 0.05, 0.1]),
+        "content_sharing_enabled": st.booleans(),
+        "hypervisor_activity_enabled": st.booleans(),
+    }
+)
+
+
+def run(params, sanitize):
+    config = SimConfig(
+        num_cores=4,
+        mesh_width=2,
+        mesh_height=2,
+        num_vms=2,
+        vcpus_per_vm=2,
+        l1_size=1024,
+        l1_ways=2,
+        l2_size=4096,
+        l2_ways=4,
+        working_set_scale=0.15,
+        accesses_per_vcpu=800,
+        warmup_accesses_per_vcpu=300,
+        sanitize=sanitize,
+        **params,
+    )
+    system = build_system(config, get_profile("fft"))
+    SimulationEngine(system).run()
+    return system
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=configs)
+def test_migration_heavy_runs_are_clean_and_unperturbed(params):
+    sanitized = run(params, sanitize=True)
+    sanitizer = sanitized.sanitizer
+    # Clean: nothing raised during the run (raise mode), audit included.
+    assert sanitizer.violation_count == 0
+    assert sanitizer.summary()["plans_checked"] > 0
+    # Unperturbed: the shadow layer must not change a single counter.
+    plain = run(params, sanitize=False)
+    assert sanitized.stats.to_dict() == plain.stats.to_dict()

@@ -1,0 +1,239 @@
+"""The sanitizer proves clean runs clean and catches injected corruption.
+
+Each corruption test runs a short healthy simulation, then breaks ONE
+piece of state by hand (a vCPU map entry, a residence counter, a registry
+sharer set, the shadow itself) and asserts the audit attributes the break
+to the right check. That demonstrates the checks are live — a sanitizer
+that never fires proves nothing.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.filter import SnoopPolicy
+from repro.sanitizer import MAX_KEPT_VIOLATIONS, SanitizerCheck, SanitizerViolation
+from repro.sim import SimConfig, build_system, run_simulation
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import SimStats
+from repro.workloads import get_profile
+
+SMALL = dict(
+    l1_size=4 * 1024,
+    l2_size=32 * 1024,
+    working_set_scale=0.15,
+    accesses_per_vcpu=600,
+    warmup_accesses_per_vcpu=300,
+)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return SimConfig(sanitize=True, **params)
+
+
+def run_small(**overrides):
+    config = small_config(**overrides)
+    system = build_system(config, get_profile("fft"))
+    engine = SimulationEngine(system)
+    engine.run()
+    return system
+
+
+# ----------------------------------------------------------------------
+# Clean runs stay clean.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", list(SnoopPolicy))
+def test_clean_run_has_no_violations(policy):
+    system = run_small(snoop_policy=policy, migration_period_ms=0.05)
+    sanitizer = system.sanitizer
+    assert sanitizer is not None
+    assert sanitizer.violation_count == 0
+    summary = sanitizer.summary()
+    assert summary["plans_checked"] > 0
+    assert summary["transactions_checked"] > 0
+    assert summary["events_checked"] > 0
+    assert summary["audits"] >= 1
+
+
+def test_speculative_misses_only_under_threshold_policy():
+    for policy in (SnoopPolicy.BROADCAST, SnoopPolicy.VSNOOP_BASE,
+                   SnoopPolicy.VSNOOP_COUNTER):
+        system = run_small(snoop_policy=policy, migration_period_ms=0.05)
+        assert system.sanitizer.summary()["filter_misses"] == 0, policy
+
+
+def test_threshold_filter_misses_are_matched_by_charged_retries():
+    """Acceptance criterion: every speculative miss maps to a real retry."""
+    config = SimConfig.migration_study(
+        snoop_policy=SnoopPolicy.VSNOOP_COUNTER_THRESHOLD,
+        migration_period_ms=0.05,
+        accesses_per_vcpu=12_000,
+        warmup_accesses_per_vcpu=2_000,
+        sanitize=True,
+    )
+    system = run_simulation(build_system(config, get_profile("fft")))
+    summary = system.sanitizer.summary()
+    assert summary["violations"] == 0
+    # The retry-charging check verified each of these transactions
+    # individually (attempt count + retry counter); the totals must agree.
+    assert summary["retried_filter_misses"] == summary["filter_misses"]
+    assert summary["filter_misses"] > 0, (
+        "config no longer exercises the speculative path; regrow the run"
+    )
+    assert system.stats.coherence.retries >= summary["retried_filter_misses"]
+
+
+def test_sanitized_run_is_bit_identical_to_unsanitized():
+    kwargs = dict(
+        SMALL, snoop_policy=SnoopPolicy.VSNOOP_COUNTER, migration_period_ms=0.05
+    )
+    sanitized = build_system(SimConfig(sanitize=True, **kwargs), get_profile("fft"))
+    SimulationEngine(sanitized).run()
+    plain = build_system(SimConfig(**kwargs), get_profile("fft"))
+    SimulationEngine(plain).run()
+    assert sanitized.stats.to_dict() == plain.stats.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Injected corruption is caught and attributed correctly.
+# ----------------------------------------------------------------------
+
+
+def test_domain_corruption_raises_domain_violation():
+    system = run_small()
+    domains = system.snoop_filter.domains
+    vm = system.vms[0].vm_id
+    victim = next(iter(sorted(domains.domain(vm))))
+    domains._domains[vm].discard(victim)
+    with pytest.raises(SanitizerViolation) as exc:
+        system.sanitizer.audit()
+    assert exc.value.check is SanitizerCheck.DOMAIN
+    assert exc.value.core == victim
+
+
+def test_tracker_corruption_raises_residence_violation():
+    system = run_small()
+    tracker = system.snoop_filter.trackers[0]
+    vm = next(iter(tracker.counts()))
+    tracker._counts[vm] += 1
+    with pytest.raises(SanitizerViolation) as exc:
+        system.sanitizer.audit()
+    assert exc.value.check is SanitizerCheck.RESIDENCE
+    assert exc.value.core == 0
+
+
+def test_registry_corruption_raises_state_violation():
+    system = run_small()
+    block, state = next(iter(system.registry._blocks.items()))
+    state.sharers.add(max(system.caches) + 7)  # a core that holds nothing
+    with pytest.raises(SanitizerViolation) as exc:
+        system.sanitizer.audit()
+    assert exc.value.check is SanitizerCheck.STATE
+    assert exc.value.block == block
+
+
+def test_shadow_corruption_raises_shadow_violation():
+    system = run_small()
+    shadow = system.sanitizer.shadows[0]
+    block = next(iter(shadow.blocks))
+    del shadow.blocks[block]
+    with pytest.raises(SanitizerViolation) as exc:
+        system.sanitizer.audit()
+    assert exc.value.check is SanitizerCheck.SHADOW
+    assert exc.value.core == 0
+
+
+def test_violation_carries_structured_context():
+    system = run_small()
+    domains = system.snoop_filter.domains
+    vm = system.vms[0].vm_id
+    domains._domains[vm].clear()
+    with pytest.raises(SanitizerViolation) as exc:
+        system.sanitizer.audit()
+    violation = exc.value
+    assert violation.check is SanitizerCheck.DOMAIN
+    assert violation.vm_id == vm
+    payload = violation.to_dict()
+    assert payload["check"] == "domain-soundness"
+    assert isinstance(payload["cycle"], int)
+    assert str(violation.cycle) in str(violation)
+
+
+# ----------------------------------------------------------------------
+# Counting mode.
+# ----------------------------------------------------------------------
+
+
+def test_count_mode_records_into_stats_without_raising():
+    system = run_small(sanitize_mode="count")
+    sanitizer = system.sanitizer
+    tracker = system.snoop_filter.trackers[0]
+    vm = next(iter(tracker.counts()))
+    tracker._counts[vm] += 1
+    sanitizer.audit()  # must not raise
+    assert sanitizer.violation_count >= 1
+    assert system.stats.sanitizer_violations[SanitizerCheck.RESIDENCE] >= 1
+    assert sanitizer.violations[0].check is SanitizerCheck.RESIDENCE
+
+    payload = system.stats.to_dict()
+    assert "sanitizer_violations" in payload
+    assert payload["sanitizer_violations"]["residence-counter"] >= 1
+    round_trip = SimStats.from_dict(payload)
+    assert round_trip.sanitizer_violations == system.stats.sanitizer_violations
+
+
+def test_count_mode_caps_kept_objects_but_not_counters():
+    system = run_small(sanitize_mode="count")
+    sanitizer = system.sanitizer
+    for _ in range(MAX_KEPT_VIOLATIONS + 10):
+        sanitizer.report(
+            SanitizerViolation(SanitizerCheck.STATE, "synthetic", cycle=0)
+        )
+    assert len(sanitizer.violations) == MAX_KEPT_VIOLATIONS
+    assert (
+        system.stats.sanitizer_violations[SanitizerCheck.STATE]
+        == MAX_KEPT_VIOLATIONS + 10
+    )
+
+
+def test_stats_omit_sanitizer_key_when_clean():
+    system = run_small()
+    payload = system.stats.to_dict()
+    assert "sanitizer_violations" not in payload
+    assert SimStats.from_dict(payload).sanitizer_violations == {}
+
+
+# ----------------------------------------------------------------------
+# Config plumbing and CLI.
+# ----------------------------------------------------------------------
+
+
+def test_config_rejects_unknown_sanitize_mode():
+    with pytest.raises(ValueError):
+        SimConfig(sanitize_mode="explode")
+
+
+def test_sanitizer_absent_by_default():
+    system = build_system(SimConfig(**SMALL), get_profile("fft"))
+    assert system.sanitizer is None
+
+
+def test_regionscout_runs_under_sanitizer():
+    # The baseline filter has no ResidenceTrackers or vCPU maps; the
+    # sanitizer must degrade to the shadow/state checks, not crash.
+    system = run_small(filter_kind="regionscout")
+    assert system.sanitizer.violation_count == 0
+
+
+def test_cli_run_sanitize_prints_summary(capsys):
+    code = main([
+        "run", "--app", "fft", "--policy", "counter",
+        "--accesses", "500", "--warmup", "200", "--sanitize",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sanitizer" in out
+    assert "violations" in out

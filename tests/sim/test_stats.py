@@ -96,9 +96,22 @@ class TestSerialization:
 
     def test_to_dict_covers_every_field(self):
         data = SimStats().to_dict()
-        assert set(data) == {f.name for f in dataclasses.fields(SimStats)}
+        # sanitizer_violations is deliberately omitted while empty so
+        # sanitizer-less artifacts stay bit-identical to earlier releases.
+        expected = {f.name for f in dataclasses.fields(SimStats)}
+        expected.discard("sanitizer_violations")
+        assert set(data) == expected
         coherence = data["coherence"]
         assert set(coherence) == {f.name for f in dataclasses.fields(CoherenceStats)}
+
+    def test_sanitizer_violations_serialized_when_present(self):
+        from repro.sanitizer import SanitizerCheck
+
+        stats = SimStats()
+        stats.sanitizer_violations[SanitizerCheck.STATE] = 3
+        data = stats.to_dict()
+        assert data["sanitizer_violations"] == {"coherence-state": 3}
+        assert SimStats.from_dict(data) == stats
 
     def test_unknown_keys_rejected(self):
         data = SimStats().to_dict()
