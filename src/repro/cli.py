@@ -4,6 +4,7 @@ Subcommands:
 
 * ``list-apps`` — the application profile catalogue.
 * ``run`` — one coherence simulation, with policy/migration knobs.
+* ``report`` — per-phase tables from an event trace (``run --trace``).
 * ``experiment`` — regenerate a paper table/figure by name.
 * ``record-trace`` — capture a synthetic workload to a trace file.
 * ``profile`` — run one simulation under cProfile and print hotspots.
@@ -21,6 +22,9 @@ cell failures and hangs.
 Examples::
 
     repro-sim run --app fft --policy counter --migration-ms 2.5
+    repro-sim run --app ocean --policy counter --migration-ms 1 \
+        --trace run.evt --metrics-every 42000
+    repro-sim report run.evt --window 10000
     repro-sim --jobs auto experiment fig7
     repro-sim --jobs auto experiment fig7 --out fig7.campaign
     repro-sim --jobs auto experiment fig7 --out fig7.campaign --resume
@@ -110,9 +114,36 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("raise", "count"),
                          help="fail fast on the first violation (raise) or "
                          "count violations into the stats for soak runs")
+        cmd.add_argument("--trace", default=None, metavar="FILE",
+                         help="record a structured event trace (coherence "
+                         "transactions, migrations, vCPU-map changes) to FILE; "
+                         "inspect it with `repro-sim report`")
+        cmd.add_argument("--trace-format", default="auto",
+                         choices=("auto", "jsonl", "binary"),
+                         help="trace backend; auto picks JSONL for "
+                         ".jsonl/.json paths, compact binary otherwise")
+        cmd.add_argument("--metrics-every", type=int, default=None,
+                         metavar="CYCLES",
+                         help="sample a windowed metrics time-series every "
+                         "CYCLES cycles into the stats (and the campaign "
+                         "manifest)")
 
     run = sub.add_parser("run", help="run one coherence simulation")
     add_sim_args(run)
+
+    report = sub.add_parser(
+        "report", help="per-phase tables from a recorded event trace"
+    )
+    report.add_argument("trace", help="trace file written by run --trace")
+    report.add_argument("--window", type=int, default=10_000, metavar="CYCLES",
+                        help="aggregation window width in cycles")
+    report.add_argument("--before", type=int, default=2, metavar="N",
+                        help="windows to show before each migration")
+    report.add_argument("--after", type=int, default=8, metavar="N",
+                        help="windows to show after each migration")
+    report.add_argument("--partial", action="store_true",
+                        help="tolerate a trace with no end record (a run "
+                        "still in progress or one that died mid-way)")
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), metavar="name",
@@ -185,6 +216,9 @@ def _config_from_args(args: argparse.Namespace):
         seed=args.seed,
         sanitize=args.sanitize,
         sanitize_mode=args.sanitize_mode,
+        trace=args.trace,
+        trace_format=args.trace_format,
+        metrics_sample_every=args.metrics_every,
     )
 
 
@@ -216,6 +250,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         ("migrations", stats.migrations),
         ("cow events", stats.cow_events),
     ]
+    if system.tracer is not None:
+        rows.append(("trace events written", system.tracer.sink.events_written))
+    if stats.metrics is not None:
+        rows.append(("metrics windows sampled", len(stats.metrics)))
     sanitizer = system.sanitizer
     if sanitizer is not None:
         summary = sanitizer.summary()
@@ -228,6 +266,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             ("sanitizer violations", summary["violations"]),
         ])
     print(render_table(["metric", "value"], rows, title=f"{args.app} / {args.policy}"))
+    if args.trace is not None:
+        print(f"trace written to {args.trace}; inspect with "
+              f"`repro-sim report {args.trace}`", file=sys.stderr)
     if sanitizer is not None and sanitizer.violation_count:
         print(
             f"sanitizer recorded {sanitizer.violation_count} violation(s):",
@@ -337,6 +378,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.obs.reader import TraceError
+    from repro.obs.report import render_report
+
+    if args.window <= 0:
+        parser.error("--window must be positive")
+    if args.before < 0 or args.after < 1:
+        parser.error("--before must be >= 0 and --after >= 1")
+    try:
+        print(
+            render_report(
+                args.trace,
+                window=args.window,
+                before=args.before,
+                after=args.after,
+                allow_partial=args.partial,
+            )
+        )
+    except (OSError, TraceError) as exc:
+        print(f"repro-sim report: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_record_trace(args: argparse.Namespace) -> int:
     from repro.workloads.generator import VmWorkload
     from repro.workloads.tracefile import record_workload, save_trace
@@ -365,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_list_apps()
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "report":
+        return cmd_report(args, parser)
     if args.command == "experiment":
         return cmd_experiment(args, parser)
     if args.command == "profile":

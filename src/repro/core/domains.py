@@ -35,18 +35,35 @@ class RemovalRecord:
         return self.removed_cycle - self.displaced_cycle
 
 
+#: Default bound on RemovalRecords kept in memory. Soak runs churn maps
+#: indefinitely; past this the table keeps exact counts of what was
+#: dropped (and streams every removal through ``map_hook``) instead of
+#: growing without bound.
+DEFAULT_MAX_REMOVAL_LOG = 100_000
+
+MapHook = Callable[[int, int, bool, int, int, int], None]
+"""Callback (vm_id, core, grew, new_size, cycle, period) per map change."""
+
+
 class SnoopDomainTable:
     """Authoritative vm → snoop-domain mapping with sync-cost accounting.
 
     ``sync_hook``, when provided, is called with (vm_id, new_domain) on
     every map change so the caller can charge vCPU-map update messages to
-    the network.
+    the network. ``map_hook`` is the observability tap: called with
+    (vm_id, core, grew, new_size, cycle, period) on every grow/shrink,
+    where ``period`` is the Figure 9 displacement-to-removal time on
+    shrink (0 otherwise). Unlike ``removal_log`` — bounded at
+    ``max_removal_log`` records, overflow counted in
+    ``removal_log_dropped`` — the hook sees every removal, so streaming
+    consumers stay exact on unbounded runs.
     """
 
     def __init__(
         self,
         num_cores: int,
         sync_hook: Optional[Callable[[int, FrozenSet[int]], None]] = None,
+        max_removal_log: int = DEFAULT_MAX_REMOVAL_LOG,
     ) -> None:
         self.num_cores = num_cores
         self.all_cores: FrozenSet[int] = frozenset(range(num_cores))
@@ -55,6 +72,9 @@ class SnoopDomainTable:
         self._sync_hook = sync_hook
         self._pending_since: Dict[Tuple[int, int], int] = {}
         self.removal_log: List[RemovalRecord] = []
+        self.max_removal_log = max_removal_log
+        self.removal_log_dropped = 0
+        self.map_hook: Optional[MapHook] = None
         self.map_updates = 0
         # Monotonic epoch, bumped on every domain-content change. Plan
         # caches key their validity on it: any vCPU placement, removal or
@@ -91,6 +111,8 @@ class SnoopDomainTable:
         if core not in domain:
             domain.add(core)
             self._notify(vm_id)
+            if self.map_hook is not None:
+                self.map_hook(vm_id, core, True, len(domain), cycle, 0)
 
     def vcpu_displaced(self, vm_id: int, core: int, cycle: int = 0) -> None:
         """A vCPU of ``vm_id`` left ``core``; the core stays in the domain.
@@ -122,8 +144,14 @@ class SnoopDomainTable:
         domain.remove(core)
         started = self._pending_since.pop((vm_id, core), None)
         if started is not None:
-            self.removal_log.append(RemovalRecord(vm_id, core, started, cycle))
+            if len(self.removal_log) < self.max_removal_log:
+                self.removal_log.append(RemovalRecord(vm_id, core, started, cycle))
+            else:
+                self.removal_log_dropped += 1
         self._notify(vm_id)
+        if self.map_hook is not None:
+            period = cycle - started if started is not None else 0
+            self.map_hook(vm_id, core, False, len(domain), cycle, period)
         return True
 
     def _notify(self, vm_id: int) -> None:

@@ -18,7 +18,7 @@ on the contribution it hosts:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.hypervisor.content import ContentSharingService
 from repro.hypervisor.memory import MemoryManager
@@ -76,6 +76,9 @@ class Hypervisor:
         self._core_occupant: List[Optional[VCpu]] = [None] * num_cores
         self._listeners: List[PlacementListener] = []
         self.relocations: List[RelocationEvent] = []
+        # Observability tap: called with each RelocationEvent as it is
+        # recorded (initial placements included, old_core=None there).
+        self.relocation_hook: Optional[Callable[[RelocationEvent], None]] = None
         self._next_vm_id = FIRST_GUEST_VM_ID
 
     # ------------------------------------------------------------------
@@ -112,9 +115,10 @@ class Hypervisor:
                 listener.on_vcpu_displaced(vcpu.vm_id, old_core)
         vcpu.core = core
         self._core_occupant[core] = vcpu
-        self.relocations.append(
-            RelocationEvent(cycle, vcpu.vm_id, vcpu.index, old_core, core)
-        )
+        event = RelocationEvent(cycle, vcpu.vm_id, vcpu.index, old_core, core)
+        self.relocations.append(event)
+        if self.relocation_hook is not None:
+            self.relocation_hook(event)
         for listener in self._listeners:
             listener.on_vcpu_placed(vcpu.vm_id, core)
 
@@ -133,8 +137,14 @@ class Hypervisor:
         a.core, b.core = core_b, core_a
         self._core_occupant[core_b] = a
         self._core_occupant[core_a] = b
-        self.relocations.append(RelocationEvent(cycle, a.vm_id, a.index, core_a, core_b))
-        self.relocations.append(RelocationEvent(cycle, b.vm_id, b.index, core_b, core_a))
+        events = (
+            RelocationEvent(cycle, a.vm_id, a.index, core_a, core_b),
+            RelocationEvent(cycle, b.vm_id, b.index, core_b, core_a),
+        )
+        self.relocations.extend(events)
+        if self.relocation_hook is not None:
+            for event in events:
+                self.relocation_hook(event)
         for listener in self._listeners:
             listener.on_vcpu_placed(a.vm_id, core_b)
             listener.on_vcpu_placed(b.vm_id, core_a)

@@ -1,0 +1,74 @@
+"""Opt-in observability: structured event tracing + metrics time-series.
+
+The paper's argument is temporal — Figures 7-9 live on *when* snoops
+spike after a relocation and *how long* old cores linger in a vCPU map —
+so this package records the run itself rather than only its end-of-run
+aggregates:
+
+* :mod:`repro.obs.events` — the structured event vocabulary (coherence
+  transactions, migrations, vCPU-map grow/shrink, sanitizer violations,
+  phase markers) with JSON and struct-packed binary codecs.
+* :mod:`repro.obs.sinks` — the :class:`TraceSink` protocol and its JSONL
+  and compact binary backends.
+* :mod:`repro.obs.reader` — iterates either backend format back into
+  event objects and reconstructs per-window aggregates; truncated or
+  corrupt traces fail loudly with a position.
+* :mod:`repro.obs.series` / :mod:`repro.obs.recorder` — the windowed
+  metrics time-series sampled while the engine runs.
+* :mod:`repro.obs.tracer` — the glue that hooks the existing engine and
+  hypervisor observer seams; :func:`attach_observability` is what
+  ``build_system`` calls when ``SimConfig.trace`` or
+  ``SimConfig.metrics_sample_every`` is set.
+* :mod:`repro.obs.report` — the ``repro-sim report`` implementation.
+
+Everything here is opt-in: with tracing and metrics disabled the engine
+hot path is untouched and statistics stay bit-identical (the same
+guarantee ``--sanitize`` gives).
+"""
+
+from repro.obs.events import (
+    EventKind,
+    MapEvent,
+    MigrationEvent,
+    PhaseEvent,
+    TraceEnd,
+    TraceHeader,
+    TransactionEvent,
+    ViolationEvent,
+)
+from repro.obs.reader import (
+    TraceError,
+    WindowAggregate,
+    aggregate_windows,
+    migration_phase_profile,
+    read_trace,
+)
+from repro.obs.recorder import MetricsRecorder
+from repro.obs.series import MetricsSeries, MetricsWindow
+from repro.obs.sinks import BinaryTraceSink, JsonlTraceSink, TraceSink, open_sink
+from repro.obs.tracer import Tracer, attach_observability
+
+__all__ = [
+    "BinaryTraceSink",
+    "EventKind",
+    "JsonlTraceSink",
+    "MapEvent",
+    "MetricsRecorder",
+    "MetricsSeries",
+    "MetricsWindow",
+    "MigrationEvent",
+    "PhaseEvent",
+    "Tracer",
+    "TraceEnd",
+    "TraceError",
+    "TraceHeader",
+    "TraceSink",
+    "TransactionEvent",
+    "ViolationEvent",
+    "WindowAggregate",
+    "aggregate_windows",
+    "attach_observability",
+    "migration_phase_profile",
+    "open_sink",
+    "read_trace",
+]

@@ -1,0 +1,333 @@
+"""The structured trace-event vocabulary and its two codecs.
+
+Every event is a small frozen dataclass carrying plain data (enum fields
+are stored by their string *value* so a decoded event compares equal to
+the one emitted). Two wire formats exist:
+
+* **JSONL** — one JSON object per line, ``{"kind": "transaction", ...}``,
+  self-describing and greppable.
+* **Binary** — a struct-packed record stream (~15-30 bytes per event
+  depending on kind, vs ~150 for JSONL), for long soak runs. Each record
+  is a one-byte :class:`EventKind` tag followed by a fixed per-kind
+  struct, little-endian, no padding.
+
+Both formats start with a header (format/version plus free-form context
+such as the policy) and finish with an explicit end record carrying the
+event count, so a cleanly-truncated file is still detected loudly by the
+reader instead of silently passing for a short run.
+
+Enum codes used by the binary format are derived from the declaration
+order of :class:`~repro.mem.pagetype.PageType`,
+:class:`~repro.workloads.trace.Initiator` and
+:class:`~repro.sanitizer.violation.SanitizerCheck`; adding or reordering
+members is a trace-format change and must bump :data:`TRACE_VERSION`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import asdict, dataclass, fields
+from enum import IntEnum
+from typing import Any, Dict, Set, Union
+
+from repro.mem.pagetype import PageType
+from repro.sanitizer.violation import SanitizerCheck
+from repro.workloads.trace import Initiator
+
+TRACE_VERSION = 1
+
+#: Magic prefix identifying the binary format (reader sniffs on it).
+BINARY_MAGIC = b"RVSTRACE"
+
+
+class EventKind(IntEnum):
+    """One-byte record tags (also the JSONL ``kind`` names, lowered)."""
+
+    END = 0
+    TRANSACTION = 1
+    MIGRATION = 2
+    MAP_GROW = 3
+    MAP_SHRINK = 4
+    VIOLATION = 5
+    PHASE = 6
+
+
+# Stable code maps for enum-valued fields in the binary format.
+_PAGE_TYPE_CODE = {t.value: i for i, t in enumerate(PageType)}
+_PAGE_TYPE_NAME = {i: t.value for i, t in enumerate(PageType)}
+_INITIATOR_CODE = {t.value: i for i, t in enumerate(Initiator)}
+_INITIATOR_NAME = {i: t.value for i, t in enumerate(Initiator)}
+_CHECK_CODE = {t.value: i for i, t in enumerate(SanitizerCheck)}
+_CHECK_NAME = {i: t.value for i, t in enumerate(SanitizerCheck)}
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """First record of every trace: format identity plus run context."""
+
+    version: int = TRACE_VERSION
+    policy: str = ""
+    app: str = ""
+    seed: int = 0
+    num_cores: int = 0
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": "header", "format": "repro-trace"}
+        out.update(asdict(self))
+        return out
+
+
+@dataclass(frozen=True)
+class TransactionEvent:
+    """One coherence transaction as the engine ran it.
+
+    ``dest_size`` is the first attempt's destination-set size (what the
+    filter committed to); ``snoops``/``retries`` are the exact protocol
+    counter deltas the transaction charged, so per-window sums rebuild
+    the aggregate statistics without rounding.
+    """
+
+    cycle: int
+    core: int
+    vm_id: int
+    block: int
+    page_type: str  # PageType value
+    initiator: str  # Initiator value
+    is_write: bool
+    dest_size: int
+    snoops: int
+    retries: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One vCPU-to-core relocation (a swap emits two, same cycle)."""
+
+    cycle: int
+    vm_id: int
+    vcpu_index: int
+    old_core: int  # -1 for an initial placement
+    new_core: int
+
+
+@dataclass(frozen=True)
+class MapEvent:
+    """A vCPU-map (snoop domain) grow or shrink.
+
+    ``period`` is only meaningful on shrink: cycles from the vCPU's
+    displacement to the removal (the Figure 9 quantity), 0 when the
+    removal closed no displacement window.
+    """
+
+    cycle: int
+    vm_id: int
+    core: int
+    grew: bool
+    size: int  # domain size after the change
+    period: int = 0
+
+
+@dataclass(frozen=True)
+class ViolationEvent:
+    """A sanitizer violation observed mid-run (counting mode, usually)."""
+
+    cycle: int
+    check: str  # SanitizerCheck value
+    vm_id: int
+    core: int
+    block: int
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A phase boundary; ``phase`` is ``"measure"`` at measurement start."""
+
+    cycle: int
+    phase: str
+
+
+@dataclass(frozen=True)
+class TraceEnd:
+    """Explicit terminator; ``events`` counts every record before it."""
+
+    cycle: int
+    events: int
+
+
+TraceEvent = Union[
+    TransactionEvent, MigrationEvent, MapEvent, ViolationEvent, PhaseEvent
+]
+AnyRecord = Union[TraceEvent, TraceHeader, TraceEnd]
+
+_PHASE_CODE = {"warmup": 0, "measure": 1}
+_PHASE_NAME = {code: name for name, code in _PHASE_CODE.items()}
+
+# ----------------------------------------------------------------------
+# JSON codec.
+# ----------------------------------------------------------------------
+
+_KIND_OF_TYPE: Dict[type, EventKind] = {
+    TransactionEvent: EventKind.TRANSACTION,
+    MigrationEvent: EventKind.MIGRATION,
+    ViolationEvent: EventKind.VIOLATION,
+    PhaseEvent: EventKind.PHASE,
+    TraceEnd: EventKind.END,
+}
+
+_TYPE_OF_KIND_NAME: Dict[str, type] = {
+    "transaction": TransactionEvent,
+    "migration": MigrationEvent,
+    "map_grow": MapEvent,
+    "map_shrink": MapEvent,
+    "violation": ViolationEvent,
+    "phase": PhaseEvent,
+    "end": TraceEnd,
+}
+
+
+def kind_of(event: AnyRecord) -> EventKind:
+    """The :class:`EventKind` tag of one event object."""
+    if isinstance(event, MapEvent):
+        return EventKind.MAP_GROW if event.grew else EventKind.MAP_SHRINK
+    return _KIND_OF_TYPE[type(event)]
+
+
+def event_to_json_obj(event: AnyRecord) -> Dict[str, Any]:
+    """One event as a JSON-serializable dict with a ``kind`` tag."""
+    out: Dict[str, Any] = {"kind": kind_of(event).name.lower()}
+    out.update(asdict(event))
+    return out
+
+
+def event_from_json_obj(obj: Dict[str, Any]) -> AnyRecord:
+    """Inverse of :func:`event_to_json_obj`; raises ``ValueError`` loudly."""
+    if not isinstance(obj, dict) or "kind" in obj and not isinstance(obj["kind"], str):
+        raise ValueError(f"not a trace record: {obj!r}")
+    kind = obj.get("kind")
+    if kind is None:
+        raise ValueError(f"trace record without a kind tag: {obj!r}")
+    cls = _TYPE_OF_KIND_NAME.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace record kind {kind!r}")
+    payload = {key: value for key, value in obj.items() if key != "kind"}
+    names = {f.name for f in fields(cls)}
+    unknown = set(payload) - names
+    if unknown:
+        raise ValueError(f"unknown fields for {kind!r} record: {sorted(unknown)}")
+    missing = names - set(payload) - _OPTIONAL_FIELDS.get(cls, set())
+    if missing:
+        raise ValueError(f"missing fields for {kind!r} record: {sorted(missing)}")
+    return cls(**payload)
+
+
+_OPTIONAL_FIELDS: Dict[type, Set[str]] = {MapEvent: {"period"}}
+
+# ----------------------------------------------------------------------
+# Binary codec. Each record: one kind byte + a fixed per-kind struct.
+# ----------------------------------------------------------------------
+
+_S_TRANSACTION = struct.Struct("<QBhqBBBHHHI")
+_S_MIGRATION = struct.Struct("<QhBhh")
+_S_MAP = struct.Struct("<QhhBBQ")
+_S_VIOLATION = struct.Struct("<QBhhq")
+_S_PHASE = struct.Struct("<QB")
+_S_END = struct.Struct("<QQ")
+
+STRUCT_OF_KIND: Dict[EventKind, struct.Struct] = {
+    EventKind.TRANSACTION: _S_TRANSACTION,
+    EventKind.MIGRATION: _S_MIGRATION,
+    EventKind.MAP_GROW: _S_MAP,
+    EventKind.MAP_SHRINK: _S_MAP,
+    EventKind.VIOLATION: _S_VIOLATION,
+    EventKind.PHASE: _S_PHASE,
+    EventKind.END: _S_END,
+}
+
+
+def pack_event(event: AnyRecord) -> bytes:
+    """One event as ``kind byte + struct payload``."""
+    kind = kind_of(event)
+    tag = bytes((kind,))
+    if isinstance(event, TransactionEvent):
+        return tag + _S_TRANSACTION.pack(
+            event.cycle,
+            event.core,
+            event.vm_id,
+            event.block,
+            _PAGE_TYPE_CODE[event.page_type],
+            _INITIATOR_CODE[event.initiator],
+            1 if event.is_write else 0,
+            event.dest_size,
+            event.snoops,
+            event.retries,
+            event.latency,
+        )
+    if isinstance(event, MigrationEvent):
+        return tag + _S_MIGRATION.pack(
+            event.cycle, event.vm_id, event.vcpu_index, event.old_core, event.new_core
+        )
+    if isinstance(event, MapEvent):
+        return tag + _S_MAP.pack(
+            event.cycle,
+            event.vm_id,
+            event.core,
+            1 if event.grew else 0,
+            event.size,
+            event.period,
+        )
+    if isinstance(event, ViolationEvent):
+        return tag + _S_VIOLATION.pack(
+            event.cycle,
+            _CHECK_CODE[event.check],
+            event.vm_id,
+            event.core,
+            event.block,
+        )
+    if isinstance(event, PhaseEvent):
+        return tag + _S_PHASE.pack(event.cycle, _PHASE_CODE[event.phase])
+    if isinstance(event, TraceEnd):
+        return tag + _S_END.pack(event.cycle, event.events)
+    raise TypeError(f"cannot pack {type(event).__name__}")
+
+
+def unpack_event(kind: EventKind, payload: bytes) -> AnyRecord:
+    """Inverse of :func:`pack_event` for one record's struct payload."""
+    if kind is EventKind.TRANSACTION:
+        (cycle, core, vm, block, ptype, init, flags, dest, snoops, retries,
+         latency) = _S_TRANSACTION.unpack(payload)
+        return TransactionEvent(
+            cycle=cycle,
+            core=core,
+            vm_id=vm,
+            block=block,
+            page_type=_PAGE_TYPE_NAME[ptype],
+            initiator=_INITIATOR_NAME[init],
+            is_write=bool(flags & 1),
+            dest_size=dest,
+            snoops=snoops,
+            retries=retries,
+            latency=latency,
+        )
+    if kind is EventKind.MIGRATION:
+        cycle, vm, vcpu, old, new = _S_MIGRATION.unpack(payload)
+        return MigrationEvent(
+            cycle=cycle, vm_id=vm, vcpu_index=vcpu, old_core=old, new_core=new
+        )
+    if kind in (EventKind.MAP_GROW, EventKind.MAP_SHRINK):
+        cycle, vm, core, grew, size, period = _S_MAP.unpack(payload)
+        return MapEvent(
+            cycle=cycle, vm_id=vm, core=core, grew=bool(grew), size=size, period=period
+        )
+    if kind is EventKind.VIOLATION:
+        cycle, check, vm, core, block = _S_VIOLATION.unpack(payload)
+        return ViolationEvent(
+            cycle=cycle, check=_CHECK_NAME[check], vm_id=vm, core=core, block=block
+        )
+    if kind is EventKind.PHASE:
+        cycle, phase = _S_PHASE.unpack(payload)
+        return PhaseEvent(cycle=cycle, phase=_PHASE_NAME[phase])
+    if kind is EventKind.END:
+        cycle, events = _S_END.unpack(payload)
+        return TraceEnd(cycle=cycle, events=events)
+    raise ValueError(f"unknown event kind {kind!r}")

@@ -1,0 +1,379 @@
+"""Read traces back and rebuild per-window aggregates.
+
+:func:`read_trace` iterates a trace written by either sink (format is
+sniffed from the file's first bytes) and yields event objects identical
+to the ones emitted. Integrity is enforced, not assumed:
+
+* a binary record that ends mid-struct raises :class:`TraceError` naming
+  the byte offset;
+* a JSONL line that fails to parse (or describes an unknown/incomplete
+  record) raises :class:`TraceError` naming the line number;
+* a trace with no ``END`` record — a run that died mid-way, or a file
+  truncated at a record boundary — raises unless ``allow_partial=True``
+  (the ``repro-sim report --partial`` escape hatch for inspecting
+  in-progress runs);
+* an ``END`` record whose event count disagrees with what was actually
+  read raises.
+
+On top of the raw stream, :func:`aggregate_windows` folds events into
+fixed-width cycle windows and :func:`migration_phase_profile` aligns
+those windows *relative to each relocation* — the Figure 7/8 view
+(snoop rate spikes at a migration, decays as residence counters drain)
+observed directly from the event stream instead of inferred from totals.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.obs.events import (
+    BINARY_MAGIC,
+    STRUCT_OF_KIND,
+    AnyRecord,
+    EventKind,
+    MapEvent,
+    MigrationEvent,
+    TraceEnd,
+    TraceHeader,
+    TransactionEvent,
+    event_from_json_obj,
+    unpack_event,
+)
+
+
+class TraceError(ValueError):
+    """A trace file is truncated, corrupt, or internally inconsistent."""
+
+
+def read_header(path: str) -> TraceHeader:
+    """The header record of ``path`` (format sniffed like ``read_trace``)."""
+    header, _ = _open_stream(path)
+    return header
+
+
+def read_trace(path: str, allow_partial: bool = False) -> Iterator[AnyRecord]:
+    """Yield every event of ``path`` in emission order.
+
+    The header and the terminating :class:`TraceEnd` are consumed and
+    validated but not yielded; see the module docstring for the failure
+    modes. With ``allow_partial`` a missing end record stops the
+    iteration instead of raising (corrupt records still raise).
+    """
+    _, events = _open_stream(path, allow_partial=allow_partial)
+    return events
+
+
+def _open_stream(
+    path: str, allow_partial: bool = False
+) -> Tuple[TraceHeader, Iterator[AnyRecord]]:
+    with open(path, "rb") as probe:
+        magic = probe.read(len(BINARY_MAGIC))
+    if magic == BINARY_MAGIC:
+        return _open_binary(path, allow_partial)
+    return _open_jsonl(path, allow_partial)
+
+
+# ----------------------------------------------------------------------
+# JSONL backend.
+# ----------------------------------------------------------------------
+
+
+def _header_from_json_obj(obj: dict, where: str) -> TraceHeader:
+    if obj.get("kind") != "header" or obj.get("format") != "repro-trace":
+        raise TraceError(f"{where}: not a repro trace header: {obj!r}")
+    payload = {
+        key: value
+        for key, value in obj.items()
+        if key not in ("kind", "format")
+    }
+    try:
+        return TraceHeader(**payload)
+    except TypeError as exc:
+        raise TraceError(f"{where}: malformed trace header: {exc}") from None
+
+
+def _open_jsonl(
+    path: str, allow_partial: bool
+) -> Tuple[TraceHeader, Iterator[AnyRecord]]:
+    handle = open(path, "r", encoding="utf-8")
+    first = handle.readline()
+    if not first.strip():
+        handle.close()
+        raise TraceError(f"{path}: empty file, expected a trace header at line 1")
+    try:
+        obj = json.loads(first)
+    except json.JSONDecodeError as exc:
+        handle.close()
+        raise TraceError(f"{path}: line 1: invalid JSON in header: {exc}") from None
+    header = _header_from_json_obj(obj, f"{path}: line 1")
+
+    def events() -> Iterator[AnyRecord]:
+        count = 0
+        ended = False
+        try:
+            for lineno, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                if ended:
+                    raise TraceError(
+                        f"{path}: line {lineno}: record after the end marker"
+                    )
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceError(
+                        f"{path}: line {lineno}: invalid JSON "
+                        f"(truncated write?): {exc}"
+                    ) from None
+                try:
+                    record = event_from_json_obj(obj)
+                except ValueError as exc:
+                    raise TraceError(f"{path}: line {lineno}: {exc}") from None
+                if isinstance(record, TraceEnd):
+                    if record.events != count:
+                        raise TraceError(
+                            f"{path}: line {lineno}: end marker claims "
+                            f"{record.events} events but {count} were read"
+                        )
+                    ended = True
+                    continue
+                count += 1
+                yield record
+            if not ended and not allow_partial:
+                raise TraceError(
+                    f"{path}: no end marker after {count} events — the "
+                    f"file is truncated or the run died before finishing"
+                )
+        finally:
+            handle.close()
+
+    return header, events()
+
+
+# ----------------------------------------------------------------------
+# Binary backend.
+# ----------------------------------------------------------------------
+
+
+def _open_binary(
+    path: str, allow_partial: bool
+) -> Tuple[TraceHeader, Iterator[AnyRecord]]:
+    handle = open(path, "rb")
+    preamble = len(BINARY_MAGIC) + 1 + 4
+    head = handle.read(preamble)
+    if len(head) < preamble:
+        handle.close()
+        raise TraceError(
+            f"{path}: truncated at byte {len(head)}: incomplete binary preamble"
+        )
+    version = head[len(BINARY_MAGIC)]
+    header_len = int.from_bytes(head[len(BINARY_MAGIC) + 1:], "little")
+    blob = handle.read(header_len)
+    if len(blob) < header_len:
+        handle.close()
+        raise TraceError(
+            f"{path}: truncated at byte {preamble + len(blob)}: "
+            f"header JSON cut short ({len(blob)}/{header_len} bytes)"
+        )
+    try:
+        obj = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        handle.close()
+        raise TraceError(f"{path}: corrupt binary header JSON: {exc}") from None
+    header = _header_from_json_obj(obj, path)
+    if header.version != version:
+        handle.close()
+        raise TraceError(
+            f"{path}: preamble version {version} disagrees with header "
+            f"version {header.version}"
+        )
+
+    def events() -> Iterator[AnyRecord]:
+        count = 0
+        offset = preamble + header_len
+        ended = False
+        try:
+            while True:
+                tag = handle.read(1)
+                if not tag:
+                    break
+                if ended:
+                    raise TraceError(
+                        f"{path}: byte {offset}: record after the end marker"
+                    )
+                try:
+                    kind = EventKind(tag[0])
+                except ValueError:
+                    raise TraceError(
+                        f"{path}: byte {offset}: unknown record tag {tag[0]}"
+                    ) from None
+                spec = STRUCT_OF_KIND[kind]
+                payload = handle.read(spec.size)
+                if len(payload) < spec.size:
+                    raise TraceError(
+                        f"{path}: truncated at byte {offset + 1 + len(payload)}: "
+                        f"{kind.name} record cut short "
+                        f"({len(payload)}/{spec.size} payload bytes)"
+                    )
+                record = unpack_event(kind, payload)
+                offset += 1 + spec.size
+                if isinstance(record, TraceEnd):
+                    if record.events != count:
+                        raise TraceError(
+                            f"{path}: end marker claims {record.events} events "
+                            f"but {count} were read"
+                        )
+                    ended = True
+                    continue
+                count += 1
+                yield record
+            if not ended and not allow_partial:
+                raise TraceError(
+                    f"{path}: no end marker after {count} events — the "
+                    f"file is truncated or the run died before finishing"
+                )
+        finally:
+            handle.close()
+
+    return header, events()
+
+
+# ----------------------------------------------------------------------
+# Window aggregation.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WindowAggregate:
+    """Everything that happened in one ``[start, start + width)`` window."""
+
+    start: int
+    width: int
+    transactions: int = 0
+    snoops: int = 0
+    retries: int = 0
+    writes: int = 0
+    migrations: int = 0
+    map_grows: int = 0
+    map_shrinks: int = 0
+    removal_cycles: int = 0  # sum of MAP_SHRINK periods closed this window
+    map_sizes: Dict[int, int] = field(default_factory=dict)  # vm -> last size
+
+    @property
+    def snoops_per_transaction(self) -> float:
+        return self.snoops / self.transactions if self.transactions else 0.0
+
+
+def aggregate_windows(
+    events: Iterable[AnyRecord], window: int
+) -> List[WindowAggregate]:
+    """Fold ``events`` into consecutive fixed-width cycle windows.
+
+    Windows are aligned to multiples of ``window`` and cover the full
+    observed span (gap windows with no events are materialised, so a
+    quiet stretch shows as zeros instead of silently vanishing).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    windows: List[WindowAggregate] = []
+    sizes: Dict[int, int] = {}
+
+    def window_for(cycle: int) -> WindowAggregate:
+        start = cycle - (cycle % window)
+        while windows and windows[-1].start < start:
+            nxt = windows[-1].start + window
+            if nxt > start:
+                break
+            windows.append(
+                WindowAggregate(start=nxt, width=window, map_sizes=dict(sizes))
+            )
+        if not windows or windows[-1].start != start:
+            windows.append(
+                WindowAggregate(start=start, width=window, map_sizes=dict(sizes))
+            )
+        return windows[-1]
+
+    for event in events:
+        agg = window_for(event.cycle)
+        if isinstance(event, TransactionEvent):
+            agg.transactions += 1
+            agg.snoops += event.snoops
+            agg.retries += event.retries
+            if event.is_write:
+                agg.writes += 1
+        elif isinstance(event, MigrationEvent):
+            agg.migrations += 1
+        elif isinstance(event, MapEvent):
+            if event.grew:
+                agg.map_grows += 1
+            else:
+                agg.map_shrinks += 1
+                agg.removal_cycles += event.period
+            sizes[event.vm_id] = event.size
+            agg.map_sizes[event.vm_id] = event.size
+    return windows
+
+
+@dataclass
+class PhaseBucket:
+    """Average behaviour at one window offset relative to a migration."""
+
+    offset: int  # in windows; 0 = the window starting at the migration
+    samples: int = 0
+    transactions: int = 0
+    snoops: int = 0
+
+    @property
+    def snoops_per_transaction(self) -> float:
+        return self.snoops / self.transactions if self.transactions else 0.0
+
+
+def migration_phase_profile(
+    events: Iterable[AnyRecord],
+    window: int,
+    before: int = 2,
+    after: int = 8,
+) -> List[PhaseBucket]:
+    """Aggregate transaction windows relative to each relocation.
+
+    For every distinct migration cycle *m* (a swap's two relocation
+    events share one), transactions in ``[m + k*window, m + (k+1)*window)``
+    accumulate into the bucket at offset ``k`` for ``-before <= k < after``.
+    The returned buckets are the observed Figure 7/8 shape: offset 0
+    spikes, later offsets decay back to the pre-migration level as the
+    residence counters drain the old cores out of the vCPU maps.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    materialised = list(events)
+    migration_cycles = sorted(
+        {e.cycle for e in materialised if isinstance(e, MigrationEvent)}
+    )
+    buckets = {
+        offset: PhaseBucket(offset=offset) for offset in range(-before, after)
+    }
+    if not migration_cycles:
+        return [buckets[offset] for offset in sorted(buckets)]
+    for cycle in migration_cycles:
+        for offset in buckets:
+            buckets[offset].samples += 1
+    transactions = [
+        e for e in materialised if isinstance(e, TransactionEvent)
+    ]
+    highs = [m + after * window for m in migration_cycles]
+    for event in transactions:
+        # A transaction can fall in the vicinity of several migrations;
+        # credit each one (the profile is an average over relocations).
+        first = bisect.bisect_left(highs, event.cycle + 1)
+        for m in migration_cycles[first:]:
+            if event.cycle < m - before * window:
+                break
+            offset = (event.cycle - m) // window
+            if -before <= offset < after:
+                bucket = buckets[offset]
+                bucket.transactions += 1
+                bucket.snoops += event.snoops
+    return [buckets[offset] for offset in sorted(buckets)]

@@ -1,0 +1,143 @@
+"""Trace sinks: where emitted events go.
+
+A :class:`TraceSink` receives a header, then events, then an explicit
+:meth:`close` that writes the end record (event count + final cycle).
+Two backends implement it:
+
+* :class:`JsonlTraceSink` — one JSON object per line, human-greppable.
+* :class:`BinaryTraceSink` — the struct-packed format from
+  :mod:`repro.obs.events` (~5x smaller), for soak runs.
+
+Sinks buffer through ordinary file objects; the engine calls
+``close(final_cycle)`` from its finalisation step, so a trace without an
+end record means the run died mid-way — which the reader reports loudly
+rather than treating as a short run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Protocol
+
+from repro.obs.events import (
+    BINARY_MAGIC,
+    TRACE_VERSION,
+    AnyRecord,
+    TraceEnd,
+    TraceHeader,
+    event_to_json_obj,
+    pack_event,
+)
+
+
+class TraceSink(Protocol):
+    """What the tracer writes through; implement these three methods."""
+
+    def write_header(self, header: TraceHeader) -> None:
+        """Record run context; called exactly once, before any event."""
+        ...
+
+    def emit(self, event: AnyRecord) -> None:
+        """Append one event."""
+        ...
+
+    def close(self, final_cycle: int) -> None:
+        """Write the end record and release the underlying file."""
+        ...
+
+
+class _BaseFileSink:
+    """Shared open/count/close bookkeeping for the file-backed sinks."""
+
+    def __init__(self, path: str, mode: str) -> None:
+        self.path = path
+        self.events_written = 0
+        self.closed = False
+        self._file: Optional[IO] = open(path, mode)
+
+    def _ensure_open(self) -> IO:
+        if self._file is None:
+            raise ValueError(f"trace sink for {self.path} is closed")
+        return self._file
+
+    def _release(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self.closed = True
+
+
+class JsonlTraceSink(_BaseFileSink):
+    """One JSON object per line; first line header, last line end record."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "w")
+
+    def write_header(self, header: TraceHeader) -> None:
+        self._ensure_open().write(
+            json.dumps(header.to_json_obj(), sort_keys=True) + "\n"
+        )
+
+    def emit(self, event: AnyRecord) -> None:
+        self._ensure_open().write(
+            json.dumps(event_to_json_obj(event), sort_keys=True) + "\n"
+        )
+        self.events_written += 1
+
+    def close(self, final_cycle: int = 0) -> None:
+        if self.closed:
+            return
+        handle = self._ensure_open()
+        end = TraceEnd(cycle=final_cycle, events=self.events_written)
+        handle.write(json.dumps(event_to_json_obj(end), sort_keys=True) + "\n")
+        self._release()
+
+
+class BinaryTraceSink(_BaseFileSink):
+    """Struct-packed records behind a magic + header-JSON preamble.
+
+    Layout: ``BINARY_MAGIC`` (8 bytes), version byte, 4-byte little-endian
+    header length, the header JSON (UTF-8), then the record stream; the
+    final record is the ``END`` tag carrying the event count.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path, "wb")
+
+    def write_header(self, header: TraceHeader) -> None:
+        handle = self._ensure_open()
+        blob = json.dumps(header.to_json_obj(), sort_keys=True).encode("utf-8")
+        handle.write(BINARY_MAGIC)
+        handle.write(bytes((TRACE_VERSION,)))
+        handle.write(len(blob).to_bytes(4, "little"))
+        handle.write(blob)
+
+    def emit(self, event: AnyRecord) -> None:
+        self._ensure_open().write(pack_event(event))
+        self.events_written += 1
+
+    def close(self, final_cycle: int = 0) -> None:
+        if self.closed:
+            return
+        handle = self._ensure_open()
+        handle.write(pack_event(TraceEnd(cycle=final_cycle, events=self.events_written)))
+        self._release()
+
+
+def open_sink(path: str, trace_format: str = "auto") -> TraceSink:
+    """Build the sink for ``path``.
+
+    ``auto`` picks JSONL for ``.jsonl``/``.json`` paths and the binary
+    format for everything else (the ``.evt`` convention).
+    """
+    if trace_format == "auto":
+        trace_format = (
+            "jsonl" if path.endswith((".jsonl", ".json")) else "binary"
+        )
+    if trace_format == "jsonl":
+        return JsonlTraceSink(path)
+    if trace_format == "binary":
+        return BinaryTraceSink(path)
+    raise ValueError(
+        f"trace_format must be 'auto', 'jsonl' or 'binary', got {trace_format!r}"
+    )

@@ -91,6 +91,9 @@ class CoherenceSanitizer:
         }
         self._plan_fn: Optional[Callable[..., RequestPlan]] = None
         self._execute_fn: Optional[Callable[..., Any]] = None
+        # Observability tap: called with every violation before it is
+        # raised or counted (the tracer records a ViolationEvent here).
+        self.on_violation: Optional[Callable[[SanitizerViolation], None]] = None
 
     # ------------------------------------------------------------------
     # Wiring.
@@ -523,6 +526,8 @@ class CoherenceSanitizer:
 
     def report(self, violation: SanitizerViolation) -> None:
         """Raise or count one violation, per the configured mode."""
+        if self.on_violation is not None:
+            self.on_violation(violation)
         if self.mode == "raise":
             raise violation
         if len(self.violations) < MAX_KEPT_VIOLATIONS:

@@ -80,6 +80,17 @@ class SimConfig:
     # SimStats.sanitizer_violations for soak runs.
     sanitize: bool = False
     sanitize_mode: str = "raise"
+    # Opt-in observability (repro.obs). `trace` names a file to receive
+    # the structured event stream (coherence transactions, migrations,
+    # vCPU-map changes); `trace_format` picks the backend ("auto" keys on
+    # the extension: .jsonl/.json -> JSONL, else compact binary).
+    # `metrics_sample_every` attaches the windowed metrics recorder,
+    # sampling counter deltas every N cycles into SimStats.metrics. Both
+    # are pure observers: with them off the engine hot path is untouched
+    # and stats stay bit-identical (the --sanitize guarantee).
+    trace: Optional[str] = None
+    trace_format: str = "auto"
+    metrics_sample_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_cores != self.mesh_width * self.mesh_height:
@@ -103,6 +114,16 @@ class SimConfig:
             raise ValueError(
                 f"sanitize_mode must be 'raise' or 'count', got "
                 f"{self.sanitize_mode!r}"
+            )
+        if self.trace_format not in ("auto", "jsonl", "binary"):
+            raise ValueError(
+                f"trace_format must be 'auto', 'jsonl' or 'binary', got "
+                f"{self.trace_format!r}"
+            )
+        if self.metrics_sample_every is not None and self.metrics_sample_every <= 0:
+            raise ValueError(
+                f"metrics_sample_every must be positive, got "
+                f"{self.metrics_sample_every}"
             )
 
     @property

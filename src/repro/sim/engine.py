@@ -65,6 +65,21 @@ class SimulationEngine:
             self._sanitizer.clock = lambda: self.now
             self._plan = self._sanitizer.wrap_plan(self._plan)
             self._execute = self._sanitizer.wrap_execute(self._execute)
+        # Opt-in tracer (repro.obs): wraps the plan seam (to capture each
+        # transaction's destination set) and the engine's own transaction
+        # entry point (to read exact counter deltas around it). Installed
+        # after the sanitizer so traced transactions are the checked
+        # ones; like it, a pure observer — stats stay bit-identical.
+        self._tracer = system.tracer
+        if self._tracer is not None:
+            self._tracer.clock = lambda: self.now
+            self._plan = self._tracer.wrap_plan(self._plan)
+            self._transact = self._tracer.wrap_transact(self._transact)
+        # Opt-in metrics recorder: the hot loop compares each popped
+        # clock against this boundary; float('inf') keeps the comparison
+        # permanently false (one int-vs-inf test per access) when off.
+        self._metrics = system.metrics
+        self._next_sample = float("inf")
         self._handle_eviction = system.protocol.handle_eviction
         self._write_to_page = system.hypervisor.write_to_page
         layout = system.layout
@@ -126,6 +141,10 @@ class SimulationEngine:
             if self._migration_period is not None:
                 self._next_migration = max(clocks) + self._migration_period
             start = min(clocks)
+            if self._tracer is not None:
+                self._tracer.begin_measurement(start)
+            if self._metrics is not None:
+                self._next_sample = self._metrics.begin(start)
             clocks = self._run_phase(clocks, budget, migrate=True)
         finally:
             if gc_was_enabled:
@@ -158,6 +177,10 @@ class SimulationEngine:
         heappop = heapq.heappop
         migrate = migrate and self._next_migration is not None
         next_migration = self._next_migration if migrate else 0
+        # Metrics boundary: inf unless a recorder is active this phase,
+        # making the per-access check below a single false comparison.
+        metrics = self._metrics
+        next_sample = self._next_sample
         workloads = self._workloads
         caches = self._caches
         mem_translate = self._mem_translate
@@ -203,6 +226,8 @@ class SimulationEngine:
         while heap:
             local_time, _, index = heappop(heap)
             self.now = local_time
+            if local_time >= next_sample:
+                next_sample = metrics.sample(local_time)
             if migrate and local_time >= next_migration:
                 self._maybe_migrate()
                 next_migration = self._next_migration
@@ -313,6 +338,7 @@ class SimulationEngine:
         # known up front; adding it once replaces a per-access counter
         # bump (the per-page-type breakdown above still runs per access).
         stats.l1_accesses += budget * len(vcpus)
+        self._next_sample = next_sample
         return final
 
     def _maybe_migrate(self) -> None:
@@ -349,6 +375,7 @@ class SimulationEngine:
         domains = getattr(self.system.snoop_filter, "domains", None)
         if domains is not None:
             domains.removal_log.clear()
+            domains.removal_log_dropped = 0
         self.system.hypervisor.relocations.clear()
 
     # ------------------------------------------------------------------
@@ -449,6 +476,11 @@ class SimulationEngine:
             stats.removal_periods_cycles = [
                 record.period for record in domains.removal_log
             ]
+            stats.removal_periods_dropped = domains.removal_log_dropped
+        if self._metrics is not None:
+            stats.metrics = self._metrics.finish(self.now)
+        if self._tracer is not None:
+            self._tracer.close(self.now)
 
 
 def run_simulation(system: SimulatedSystem) -> "SimulatedSystem":

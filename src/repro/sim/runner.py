@@ -406,7 +406,7 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
     us_per_access = None
     if result.stats is not None and result.stats.l1_accesses and not result.from_checkpoint:
         us_per_access = round(1e6 * result.wall_seconds / result.stats.l1_accesses, 3)
-    return {
+    entry = {
         "key": key,
         "index": result.index,
         "app": task.app,
@@ -422,6 +422,12 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
         "us_per_access": us_per_access,
         "error": result.error,
     }
+    # Cells run with a metrics recorder carry their time-series into the
+    # manifest, so a campaign's temporal behaviour (Figures 7-9) is
+    # inspectable without re-running anything.
+    if result.stats is not None and result.stats.metrics is not None:
+        entry["metrics"] = result.stats.metrics.to_dict()
+    return entry
 
 
 def _write_manifest(

@@ -9,10 +9,11 @@ vCPU-map removals (Figures 7-9).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.coherence.stats import CoherenceStats
 from repro.mem.pagetype import PageType
+from repro.obs.series import MetricsSeries
 from repro.sanitizer.violation import SanitizerCheck
 from repro.workloads.trace import Initiator
 
@@ -44,6 +45,13 @@ class SimStats:
     network_bytes: int = 0
     network_messages: int = 0
     removal_periods_cycles: List[int] = field(default_factory=list)
+    # Removals beyond the SnoopDomainTable's in-memory log cap on soak
+    # runs; their periods are observable through the metrics recorder /
+    # trace instead. 0 (and omitted from to_dict) on bounded runs.
+    removal_periods_dropped: int = 0
+    # Windowed time-series sampled by the opt-in metrics recorder. None
+    # (and omitted from to_dict) unless config.metrics_sample_every set.
+    metrics: Optional[MetricsSeries] = None
     # Violations recorded by the coherence sanitizer in counting mode,
     # keyed by check. Empty whenever the sanitizer is off (or clean), and
     # omitted from to_dict() in that case so sanitizer-less artifacts stay
@@ -70,6 +78,15 @@ class SimStats:
             elif f.name == "sanitizer_violations":
                 if value:
                     out[f.name] = {check.value: count for check, count in value.items()}
+            elif f.name == "metrics":
+                # Omitted when absent (like the two cases above) so
+                # artifacts from observability-less runs stay
+                # bit-identical to earlier releases.
+                if value is not None:
+                    out[f.name] = value.to_dict()
+            elif f.name == "removal_periods_dropped":
+                if value:
+                    out[f.name] = value
             elif f.name in _ENUM_KEYED:
                 out[f.name] = {key.value: count for key, count in value.items()}
             elif isinstance(value, list):
@@ -93,6 +110,8 @@ class SimStats:
                 SanitizerCheck(key): count
                 for key, count in kwargs["sanitizer_violations"].items()
             }
+        if "metrics" in kwargs and kwargs["metrics"] is not None:
+            kwargs["metrics"] = MetricsSeries.from_dict(kwargs["metrics"])
         for name, enum_type in _ENUM_KEYED.items():
             if name in kwargs:
                 kwargs[name] = {

@@ -32,6 +32,8 @@ from repro.workloads.generator import VmWorkload
 from repro.workloads.profiles import AppProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import MetricsRecorder
+    from repro.obs.tracer import Tracer
     from repro.sanitizer.core import CoherenceSanitizer
 
 HYPERVISOR_SPACE = -10
@@ -157,6 +159,11 @@ class SimulatedSystem:
     stats: SimStats
     # Attached by repro.sanitizer.attach_sanitizer when config.sanitize.
     sanitizer: Optional["CoherenceSanitizer"] = field(default=None)
+    # Attached by repro.obs.attach_observability when config.trace /
+    # config.metrics_sample_every is set; the engine installs the
+    # hot-path seams for whichever is present.
+    tracer: Optional["Tracer"] = field(default=None)
+    metrics: Optional["MetricsRecorder"] = field(default=None)
 
 
 def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
@@ -283,4 +290,13 @@ def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
         from repro.sanitizer import attach_sanitizer
 
         attach_sanitizer(system, mode=config.sanitize_mode)
+    if config.trace is not None or config.metrics_sample_every is not None:
+        from repro.obs import attach_observability
+
+        attach_observability(
+            system,
+            trace_path=config.trace,
+            trace_format=config.trace_format,
+            metrics_sample_every=config.metrics_sample_every,
+        )
     return system

@@ -1,0 +1,17 @@
+"""Suite-wide pytest hooks.
+
+``--update-golden`` rewrites the golden-run corpus under
+``tests/golden/data/`` from the current simulator output instead of
+comparing against it. Use it after an *intentional* behaviour change,
+eyeball the diff of the regenerated JSON, and commit the data files with
+the code change that caused them (see CHANGES.md conventions).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/data/*.json instead of asserting",
+    )

@@ -83,3 +83,46 @@ class TestSyncHook:
         table.try_remove(1, 4)
         assert calls == [(1, frozenset({4})), (1, frozenset())]
         assert table.map_updates == 2
+
+
+class TestRemovalLogCap:
+    """The in-memory removal log is bounded so soak runs cannot OOM."""
+
+    def _churn(self, table, removals):
+        # Each round: place on a fresh slot, displace, remove.
+        for i in range(removals):
+            core = 4 + (i % 8)
+            table.vcpu_placed(1, core, cycle=i * 10)
+            table.vcpu_displaced(1, core, cycle=i * 10 + 3)
+            assert table.try_remove(1, core, cycle=i * 10 + 7)
+
+    def test_log_stops_growing_at_the_cap(self):
+        table = SnoopDomainTable(16, max_removal_log=5)
+        self._churn(table, 12)
+        assert len(table.removal_log) == 5
+        assert table.removal_log_dropped == 7
+        # The retained records are the earliest ones, unchanged.
+        assert [r.removed_cycle for r in table.removal_log] == [
+            7, 17, 27, 37, 47,
+        ]
+
+    def test_map_hook_sees_dropped_removals_too(self):
+        table = SnoopDomainTable(16, max_removal_log=3)
+        shrinks = []
+        table.map_hook = (
+            lambda vm, core, grew, size, cycle, period:
+            shrinks.append(period) if not grew else None
+        )
+        self._churn(table, 9)
+        assert len(table.removal_log) == 3
+        assert table.removal_log_dropped == 6
+        # The hook streamed every removal, capped log or not.
+        assert len(shrinks) == 9
+        assert all(period == 4 for period in shrinks)
+
+    def test_default_cap_is_roomy(self):
+        from repro.core.domains import DEFAULT_MAX_REMOVAL_LOG
+
+        table = SnoopDomainTable(16)
+        assert table.max_removal_log == DEFAULT_MAX_REMOVAL_LOG
+        assert DEFAULT_MAX_REMOVAL_LOG >= 100_000

@@ -1,0 +1,77 @@
+"""Observers must not perturb the simulation they observe.
+
+The same config is run four ways — serial, through a two-worker
+``parallel_map`` pool, with the tracer attached, and with the metrics
+recorder attached — and the resulting ``SimStats`` are compared **bit
+for bit** (canonical JSON encoding). This is the ``--sanitize``
+guarantee extended to the whole observability layer: with tracing and
+metrics off the hot path is untouched, and with them on they only read.
+"""
+
+import dataclasses
+import json
+
+from repro.core.filter import SnoopPolicy
+from repro.sim import SimConfig, SimTask
+from repro.sim.runner import parallel_map, run_simulation_task
+
+BASE = SimConfig.migration_study(
+    snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+    migration_period_ms=0.05,
+    accesses_per_vcpu=6_000,
+    warmup_accesses_per_vcpu=500,
+)
+
+
+def canonical(stats, drop_metrics=False) -> str:
+    data = stats.to_dict()
+    if drop_metrics:
+        data.pop("metrics", None)
+    return json.dumps(data, sort_keys=True)
+
+
+def test_serial_parallel_traced_and_metered_runs_are_bit_identical(tmp_path):
+    tasks = [SimTask(BASE, "ocean"), SimTask(BASE, "fft")]
+
+    serial = [run_simulation_task(t) for t in tasks]
+    pooled = parallel_map(run_simulation_task, tasks, jobs=2)
+    traced = [
+        run_simulation_task(
+            SimTask(
+                dataclasses.replace(t.config, trace=str(tmp_path / f"{t.app}.evt")),
+                t.app,
+            )
+        )
+        for t in tasks
+    ]
+    metered = [
+        run_simulation_task(
+            SimTask(dataclasses.replace(t.config, metrics_sample_every=20_000), t.app)
+        )
+        for t in tasks
+    ]
+
+    for base, pool, trace, meter in zip(serial, pooled, traced, metered):
+        reference = canonical(base)
+        assert canonical(pool) == reference
+        assert canonical(trace) == reference
+        # The metered run adds only the series; everything else is identical.
+        assert meter.metrics is not None
+        assert canonical(meter, drop_metrics=True) == reference
+
+
+def test_both_observers_together_change_nothing(tmp_path):
+    task = SimTask(BASE, "ocean")
+    reference = canonical(run_simulation_task(task))
+    both = run_simulation_task(
+        SimTask(
+            dataclasses.replace(
+                BASE,
+                trace=str(tmp_path / "both.jsonl"),
+                trace_format="jsonl",
+                metrics_sample_every=20_000,
+            ),
+            "ocean",
+        )
+    )
+    assert canonical(both, drop_metrics=True) == reference

@@ -1,0 +1,109 @@
+"""The windowed metrics series must rebuild the aggregate counters."""
+
+import json
+
+import pytest
+
+from repro.core.filter import SnoopPolicy
+from repro.obs import MetricsRecorder, MetricsSeries, MetricsWindow
+from repro.sim import SimConfig, SimTask
+from repro.sim.runner import run_matrix_detailed, run_simulation_task
+
+
+def _metrics_config(**overrides):
+    defaults = dict(
+        snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+        migration_period_ms=0.05,
+        accesses_per_vcpu=6_000,
+        warmup_accesses_per_vcpu=500,
+        metrics_sample_every=20_000,
+    )
+    defaults.update(overrides)
+    return SimConfig.migration_study(**defaults)
+
+
+def test_window_sums_equal_aggregate_counters():
+    stats = run_simulation_task(SimTask(_metrics_config(), "ocean"))
+    series = stats.metrics
+    assert series is not None
+    assert series.sample_every == 20_000
+    assert len(series) > 1, "run must span several sample windows"
+
+    totals = series.totals()
+    assert totals["transactions"] == stats.total_transactions
+    assert totals["snoops"] == stats.total_snoops
+    assert totals["retries"] == stats.coherence.retries
+    assert totals["network_bytes"] == stats.network_bytes
+    # The series counts relocation events; SimStats counts swaps (2 each).
+    assert totals["migrations"] == 2 * stats.migrations
+    assert totals["removal_cycles"] == sum(stats.removal_periods_cycles)
+
+    # Windows tile the measured phase contiguously and aligned.
+    starts = [w.start for w in series.windows]
+    assert starts == sorted(starts)
+    for prev, nxt in zip(starts, starts[1:]):
+        assert nxt == prev + series.sample_every
+
+    # State levels: per-VM map sizes are always within [1, num_cores].
+    for window in series.windows:
+        assert set(window.map_sizes) == {1, 2, 3, 4}
+        assert all(1 <= size <= 16 for size in window.map_sizes.values())
+        assert window.residence_sum >= 0
+
+
+def test_series_round_trips_through_json():
+    stats = run_simulation_task(SimTask(_metrics_config(), "ocean"))
+    series = stats.metrics
+    encoded = json.dumps(series.to_dict(), sort_keys=True)
+    restored = MetricsSeries.from_dict(json.loads(encoded))
+    assert restored == series
+    # And the full stats object carries the series through its own codec.
+    from repro.sim.stats import SimStats
+
+    full = json.dumps(stats.to_dict(), sort_keys=True)
+    assert SimStats.from_dict(json.loads(full)) == stats
+
+
+def test_manifest_cells_carry_the_time_series(tmp_path):
+    tasks = [SimTask(_metrics_config(), "ocean"), SimTask(_metrics_config(), "fft")]
+    run_matrix_detailed(
+        tasks, jobs=1, checkpoint_dir=str(tmp_path), label="obs-test"
+    )
+    manifest = json.loads((tmp_path / "manifest-obs-test.json").read_text())
+    assert len(manifest["tasks"]) == 2
+    for entry in manifest["tasks"]:
+        series = MetricsSeries.from_dict(entry["metrics"])
+        assert series.sample_every == 20_000
+        assert series.totals()["transactions"] > 0
+
+
+def test_cells_without_metrics_stay_unchanged(tmp_path):
+    config = SimConfig(accesses_per_vcpu=300, warmup_accesses_per_vcpu=150)
+    run_matrix_detailed(
+        [SimTask(config, "fft")], jobs=1, checkpoint_dir=str(tmp_path), label="plain"
+    )
+    manifest = json.loads((tmp_path / "manifest-plain.json").read_text())
+    assert "metrics" not in manifest["tasks"][0]
+
+
+def test_recorder_rejects_nonpositive_interval():
+    with pytest.raises(ValueError, match="sample_every"):
+        MetricsRecorder(system=None, sample_every=0)
+    with pytest.raises(ValueError, match="metrics_sample_every"):
+        SimConfig(metrics_sample_every=-5)
+
+
+def test_series_codec_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="bogus"):
+        MetricsSeries.from_dict({"sample_every": 10, "bogus": 1})
+    with pytest.raises(ValueError, match="stray"):
+        MetricsWindow.from_dict({"start": 0, "width": 10, "stray": 2})
+
+
+def test_window_map_size_keys_survive_json_as_ints():
+    window = MetricsWindow(start=0, width=10, map_sizes={3: 4, 12: 2})
+    restored = MetricsWindow.from_dict(
+        json.loads(json.dumps(window.to_dict(), sort_keys=True))
+    )
+    assert restored == window
+    assert set(restored.map_sizes) == {3, 12}

@@ -1,0 +1,124 @@
+"""Corrupt and truncated traces must fail loudly, naming the position."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MigrationEvent,
+    PhaseEvent,
+    TraceError,
+    TraceHeader,
+    open_sink,
+    read_trace,
+)
+from repro.obs.reader import read_header
+
+HEADER = TraceHeader(policy="broadcast", app="lu", seed=1, num_cores=16)
+EVENTS = [
+    PhaseEvent(cycle=10, phase="measure"),
+    MigrationEvent(cycle=50, vm_id=0, vcpu_index=1, old_core=2, new_core=3),
+    MigrationEvent(cycle=50, vm_id=1, vcpu_index=0, old_core=3, new_core=2),
+]
+
+
+def _write(tmp_path, fmt, events=EVENTS, close=True):
+    path = str(tmp_path / f"t-{fmt}.trace")
+    sink = open_sink(path, trace_format=fmt)
+    sink.write_header(HEADER)
+    for event in events:
+        sink.emit(event)
+    if close:
+        sink.close(final_cycle=60)
+    else:
+        sink._release()  # abandon without the end marker, as a crash would
+    return path
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+def test_missing_end_marker_raises(tmp_path, fmt):
+    path = _write(tmp_path, fmt, close=False)
+    with pytest.raises(TraceError, match="no end marker"):
+        list(read_trace(path))
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+def test_allow_partial_reads_what_is_there(tmp_path, fmt):
+    path = _write(tmp_path, fmt, close=False)
+    assert list(read_trace(path, allow_partial=True)) == EVENTS
+
+
+def test_truncated_binary_record_names_the_byte(tmp_path):
+    path = _write(tmp_path, "binary")
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:-5])  # cut into the final record
+    with pytest.raises(TraceError, match=r"truncated at byte \d+"):
+        list(read_trace(path))
+    # allow_partial forgives a *missing* end marker, never a torn record.
+    with pytest.raises(TraceError, match=r"truncated at byte \d+"):
+        list(read_trace(path, allow_partial=True))
+
+
+def test_corrupt_jsonl_line_names_the_line(tmp_path):
+    path = _write(tmp_path, "jsonl")
+    lines = open(path).read().splitlines()
+    lines[2] = lines[2][: len(lines[2]) // 2]  # tear a record mid-JSON
+    open(path, "w").write("\n".join(lines) + "\n")
+    with pytest.raises(TraceError, match="line 3"):
+        list(read_trace(path))
+
+
+def test_unknown_binary_tag_names_the_byte(tmp_path):
+    path = _write(tmp_path, "binary")
+    data = bytearray(open(path, "rb").read())
+    # First record tag sits right after magic + version + len + header.
+    header_len = int.from_bytes(data[9:13], "little")
+    first_tag = 13 + header_len
+    data[first_tag] = 0xEE
+    open(path, "wb").write(bytes(data))
+    with pytest.raises(TraceError, match=f"byte {first_tag}: unknown record tag"):
+        list(read_trace(path))
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+def test_end_marker_count_mismatch_raises(tmp_path, fmt):
+    path = str(tmp_path / f"bad-count.{fmt}")
+    sink = open_sink(path, trace_format=fmt)
+    sink.write_header(HEADER)
+    sink.emit(EVENTS[0])
+    sink.events_written = 7  # forge a bad count into the end marker
+    sink.close(final_cycle=60)
+    with pytest.raises(TraceError, match="claims 7 events but 1"):
+        list(read_trace(path))
+
+
+def test_record_after_end_marker_raises(tmp_path):
+    path = _write(tmp_path, "jsonl")
+    extra = json.dumps(
+        {"kind": "phase", "cycle": 99, "phase": "measure"}, sort_keys=True
+    )
+    open(path, "a").write(extra + "\n")
+    with pytest.raises(TraceError, match="record after the end marker"):
+        list(read_trace(path))
+
+
+def test_empty_file_raises(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    open(path, "w").close()
+    with pytest.raises(TraceError, match="empty file"):
+        read_header(path)
+
+
+def test_binary_header_truncation_raises(tmp_path):
+    path = _write(tmp_path, "binary")
+    data = open(path, "rb").read()
+    open(path, "wb").write(data[:10])  # mid-preamble
+    with pytest.raises(TraceError, match="truncated at byte 10"):
+        read_header(path)
+
+
+def test_not_a_trace_header_raises(tmp_path):
+    path = str(tmp_path / "nope.jsonl")
+    open(path, "w").write('{"kind": "something-else"}\n')
+    with pytest.raises(TraceError, match="not a repro trace header"):
+        read_header(path)

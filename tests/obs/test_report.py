@@ -1,0 +1,104 @@
+"""``repro-sim report`` reproduces the Figure 7/8 shape from a trace.
+
+The paper's migration figures show snoops-per-transaction spiking at a
+vCPU relocation (the grown map broadcasts wider) and decaying back as
+residence counters drain the old cores out of the map. Here that shape
+is observed *directly from the event stream* of one traced run.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.filter import SnoopPolicy
+from repro.obs import migration_phase_profile, read_trace
+from repro.obs.report import render_report
+from repro.sim import SimConfig, SimTask
+from repro.sim.runner import run_simulation_task
+
+WINDOW = 10_000
+
+
+@pytest.fixture(scope="module")
+def traced_migration_run(tmp_path_factory):
+    """One counter run with a 1 'ms' migration period, traced to binary."""
+    path = str(tmp_path_factory.mktemp("trace") / "fig78.evt")
+    config = SimConfig.migration_study(
+        snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+        migration_period_ms=1.0,
+        accesses_per_vcpu=40_000,
+        warmup_accesses_per_vcpu=2_000,
+        trace=path,
+    )
+    stats = run_simulation_task(SimTask(config, "ocean"))
+    return stats, path
+
+
+def test_phase_profile_shows_spike_and_decay(traced_migration_run):
+    stats, path = traced_migration_run
+    assert stats.migrations >= 3, "need several relocations to average over"
+    profile = migration_phase_profile(
+        list(read_trace(path)), window=WINDOW, before=2, after=8
+    )
+    rate = {b.offset: b.snoops_per_transaction for b in profile}
+    assert all(b.samples == stats.migrations for b in profile)
+
+    # Spike: the migration window snoops markedly wider than steady state.
+    pre = (rate[-2] + rate[-1]) / 2
+    assert rate[0] > pre * 1.05
+    # Decay: by the end of the horizon the rate has come most of the way
+    # back down from the spike toward the pre-migration level.
+    assert rate[7] < pre + 0.3 * (rate[0] - pre)
+    # And the tail is below the immediate post-migration windows.
+    assert rate[7] < rate[1]
+
+
+def test_render_report_contains_both_tables(traced_migration_run):
+    _, path = traced_migration_run
+    text = render_report(path, window=WINDOW)
+    assert "Windowed timeline" in text
+    assert "Migration phase profile" in text
+    assert "counter" in text  # policy from the header
+    assert "ocean" in text
+
+
+def test_report_without_migrations_says_so(tmp_path):
+    path = str(tmp_path / "still.evt")
+    config = SimConfig(
+        accesses_per_vcpu=800, warmup_accesses_per_vcpu=200, trace=path
+    )
+    run_simulation_task(SimTask(config, "fft"))
+    text = render_report(path, window=WINDOW)
+    assert "no migrations" in text
+    assert "Windowed timeline" in text
+
+
+class TestReportCli:
+    def test_report_subcommand(self, traced_migration_run, capsys):
+        _, path = traced_migration_run
+        assert main(["report", path, "--window", str(WINDOW)]) == 0
+        out = capsys.readouterr().out
+        assert "Migration phase profile" in out
+
+    def test_report_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "nope.evt")])
+        assert code == 1
+        assert "nope.evt" in capsys.readouterr().err
+
+    def test_report_truncated_trace_fails_cleanly(
+        self, traced_migration_run, tmp_path, capsys
+    ):
+        _, path = traced_migration_run
+        clipped = tmp_path / "clipped.evt"
+        # Drop the entire END record (1 tag + 16 payload bytes): a clean
+        # record-boundary truncation, the "run died mid-way" case.
+        clipped.write_bytes(open(path, "rb").read()[:-17])
+        assert main(["report", str(clipped)]) == 1
+        err = capsys.readouterr().err
+        assert "clipped.evt" in err
+        # --partial inspects the same file without the end marker.
+        assert main(["report", str(clipped), "--partial"]) == 0
+
+    def test_report_validates_window(self, traced_migration_run):
+        _, path = traced_migration_run
+        with pytest.raises(SystemExit):
+            main(["report", path, "--window", "0"])

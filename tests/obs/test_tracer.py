@@ -1,0 +1,83 @@
+"""The tracer must agree with the aggregate statistics it shadows.
+
+One migration-heavy counter run is traced in both formats and the event
+stream is checked *exactly* against ``SimStats``: per-event snoop/retry
+deltas sum to the aggregate counters, transaction events are one per
+coherence transaction, relocation events are two per swap, and the
+MAP_SHRINK periods reproduce ``removal_periods_cycles`` verbatim.
+"""
+
+import pytest
+
+from repro.core.filter import SnoopPolicy
+from repro.obs import (
+    MapEvent,
+    MigrationEvent,
+    PhaseEvent,
+    TransactionEvent,
+    read_trace,
+)
+from repro.obs.reader import read_header
+from repro.sim import SimConfig, SimTask
+from repro.sim.runner import run_simulation_task
+
+
+def _traced_run(tmp_path, fmt):
+    path = str(tmp_path / f"run.{fmt}")
+    config = SimConfig.migration_study(
+        snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+        migration_period_ms=0.05,
+        accesses_per_vcpu=6_000,
+        warmup_accesses_per_vcpu=500,
+        trace=path,
+        trace_format=fmt,
+    )
+    stats = run_simulation_task(SimTask(config, "ocean"))
+    return stats, path
+
+
+@pytest.mark.parametrize("fmt", ["jsonl", "binary"])
+def test_trace_reconciles_with_stats(tmp_path, fmt):
+    stats, path = _traced_run(tmp_path, fmt)
+    events = list(read_trace(path))
+
+    transactions = [e for e in events if isinstance(e, TransactionEvent)]
+    migrations = [e for e in events if isinstance(e, MigrationEvent)]
+    shrinks = [e for e in events if isinstance(e, MapEvent) and not e.grew]
+    grows = [e for e in events if isinstance(e, MapEvent) and e.grew]
+    phases = [e for e in events if isinstance(e, PhaseEvent)]
+
+    # One TransactionEvent per coherence transaction, carrying exact
+    # counter deltas.
+    assert len(transactions) == stats.total_transactions
+    assert sum(e.snoops for e in transactions) == stats.total_snoops
+    assert sum(e.retries for e in transactions) == stats.coherence.retries
+    assert all(e.dest_size >= 1 for e in transactions)
+
+    # A swap relocates two vCPUs, so the trace carries 2x the swap count.
+    assert stats.migrations > 0
+    assert len(migrations) == 2 * stats.migrations
+
+    # Counter-driven map shrinks reproduce the removal-period list.
+    assert stats.removal_periods_cycles
+    assert sorted(e.period for e in shrinks) == sorted(
+        stats.removal_periods_cycles
+    )
+    # A shrunk map must have grown back first for the next shrink.
+    assert grows, "migration run must re-grow maps"
+
+    # Exactly one measurement-start phase marker, before every other event.
+    assert [p.phase for p in phases] == ["measure"]
+    assert events[0] == phases[0]
+
+    header = read_header(path)
+    assert header.policy == SnoopPolicy.VSNOOP_COUNTER.value
+    assert header.app == "ocean"
+    assert header.num_cores == 16
+
+
+def test_trace_covers_only_the_measured_phase(tmp_path):
+    stats, path = _traced_run(tmp_path, "binary")
+    events = list(read_trace(path))
+    measure_start = events[0].cycle
+    assert all(e.cycle >= measure_start for e in events)

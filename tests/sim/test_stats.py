@@ -96,10 +96,13 @@ class TestSerialization:
 
     def test_to_dict_covers_every_field(self):
         data = SimStats().to_dict()
-        # sanitizer_violations is deliberately omitted while empty so
-        # sanitizer-less artifacts stay bit-identical to earlier releases.
+        # sanitizer_violations, metrics and removal_periods_dropped are
+        # deliberately omitted while empty so artifacts from runs without
+        # those features stay bit-identical to earlier releases.
         expected = {f.name for f in dataclasses.fields(SimStats)}
         expected.discard("sanitizer_violations")
+        expected.discard("metrics")
+        expected.discard("removal_periods_dropped")
         assert set(data) == expected
         coherence = data["coherence"]
         assert set(coherence) == {f.name for f in dataclasses.fields(CoherenceStats)}
@@ -112,6 +115,56 @@ class TestSerialization:
         data = stats.to_dict()
         assert data["sanitizer_violations"] == {"coherence-state": 3}
         assert SimStats.from_dict(data) == stats
+
+    def test_capped_removal_log_round_trips(self):
+        # A soak run that overflowed the bounded removal log records how
+        # many periods were dropped; the round trip stays lossless for
+        # what was kept.
+        stats = SimStats()
+        stats.removal_periods_cycles = [100, 250]
+        stats.removal_periods_dropped = 4_321
+        data = stats.to_dict()
+        assert data["removal_periods_dropped"] == 4_321
+        restored = SimStats.from_dict(json.loads(json.dumps(data, sort_keys=True)))
+        assert restored == stats
+
+    def test_soak_run_with_tiny_cap_reports_dropped_periods(self):
+        # End-to-end: when migration churn overflows the bounded removal
+        # log, the run finishes normally and the stats say what was cut.
+        from repro.core.filter import SnoopPolicy
+        from repro.sim import SimConfig, build_system, run_simulation
+        from repro.workloads.profiles import get_profile
+
+        config = SimConfig.migration_study(
+            snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+            migration_period_ms=0.05,
+            accesses_per_vcpu=6_000,
+            warmup_accesses_per_vcpu=500,
+        )
+        system = build_system(config, get_profile("ocean"))
+        system.snoop_filter.domains.max_removal_log = 1
+        run_simulation(system)
+        stats = system.stats
+        assert len(stats.removal_periods_cycles) == 1
+        assert stats.removal_periods_dropped > 0
+        restored = SimStats.from_dict(
+            json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+        )
+        assert restored == stats
+
+    def test_metrics_series_round_trips_inside_stats(self):
+        from repro.obs.series import MetricsSeries, MetricsWindow
+
+        stats = SimStats()
+        stats.metrics = MetricsSeries(
+            sample_every=10,
+            windows=[MetricsWindow(start=0, width=10, transactions=3, snoops=7)],
+        )
+        restored = SimStats.from_dict(
+            json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+        )
+        assert restored == stats
+        assert isinstance(restored.metrics, MetricsSeries)
 
     def test_unknown_keys_rejected(self):
         data = SimStats().to_dict()
