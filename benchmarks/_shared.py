@@ -5,7 +5,22 @@ and Figure 6; Figures 7, 8 and 9; Tables V and VI). Each campaign runs
 once per benchmark session and is cached here so the harness regenerates
 every table/figure without repeating multi-minute sweeps.
 
+Two cache layers stack here:
+
+* the ``lru_cache`` below — in-process, one entry per campaign, so two
+  benchmarks sharing a campaign within a session never re-run it;
+* the cross-run result store (``repro.store``) — on disk, one entry per
+  (config, app) cell. Every campaign funnels through
+  ``run_simulation_task``, so a second benchmark *session* against a
+  warm store replays from disk instead of simulating. ``REPRO_STORE``
+  points it elsewhere or disables it (``REPRO_STORE=off``) for honest
+  cold timings; warm-state snapshot reuse rides along via
+  ``REPRO_SNAPSHOTS``.
+
 Set ``REPRO_FAST=1`` for a reduced-size smoke run of the whole suite.
+Fast-mode campaigns scale both the measured and warm-up budgets, so
+their store keys and warm-up fingerprints are distinct from full runs —
+the two never serve each other's entries.
 """
 
 from __future__ import annotations

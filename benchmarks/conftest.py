@@ -6,10 +6,15 @@ it, and asserts the shape claims the paper makes. Benchmarks run once
 microseconds.
 
 At session end the harness writes ``benchmarks/results/BENCH_<rev>.json``
-with per-test wall-clock durations and the campaigns' headline metrics —
-a regression guard: diff two revisions' files to see whether a change
-moved runtimes or, worse, results. If a previous revision's file exists,
-the total-duration ratio is printed as a quick signal.
+with per-test wall-clock durations, the campaigns' headline metrics and
+the result-store traffic — a regression guard: diff two revisions' files
+to see whether a change moved runtimes or, worse, results. If a previous
+revision's file exists, the total-duration ratio is printed as a quick
+signal and any individual test that slowed past
+``_WALL_TIME_RATIO_FLAG`` is named. Wall-time comparisons only run
+between files recorded in the same mode (fast vs full) and only against
+cold-store runs — a warm store makes every campaign replay from disk,
+which would flag the *next* cold run as a regression.
 """
 
 import json
@@ -22,6 +27,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# A test this much slower than the previous same-mode revision is named
+# in the bench-guard line. Generous: shared CI machines jitter, and a
+# benchmark here is a whole campaign, not a microbenchmark.
+_WALL_TIME_RATIO_FLAG = 1.5
+# Ignore sub-second tests: their ratios are all noise.
+_WALL_TIME_MIN_SECONDS = 1.0
 
 _durations = {}
 
@@ -57,8 +69,10 @@ def pytest_sessionfinish(session, exitstatus):
 
     import _shared
     from repro.sim import default_jobs
+    from repro.store import get_store, store_root
 
     rev = _current_rev()
+    store = get_store()
     payload = {
         "rev": rev,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -67,6 +81,12 @@ def pytest_sessionfinish(session, exitstatus):
         "total_duration_s": round(sum(_durations.values()), 3),
         "durations_s": dict(sorted(_durations.items())),
         "headlines": _shared.headline_metrics(),
+        # Parent-process traffic only: parallel campaigns hit the store
+        # inside worker processes, whose counters die with the workers.
+        "store": {
+            "root": str(store_root()) if store is not None else None,
+            **(store.counters() if store is not None else {}),
+        },
     }
     # When the campaigns checkpoint (REPRO_CAMPAIGN_DIR, e.g. in CI),
     # record where and what so the bench guard links to the manifests.
@@ -86,6 +106,7 @@ def pytest_sessionfinish(session, exitstatus):
         if p != out_path
     ]
     line = f"bench guard: wrote {out_path}"
+    slow = []
     if previous:
         try:
             prior = json.loads(previous[-1].read_text())
@@ -96,7 +117,38 @@ def pytest_sessionfinish(session, exitstatus):
                     f" (total {payload['total_duration_s']}s, "
                     f"{ratio:.2f}x of {prior.get('rev')})"
                 )
+                slow = _wall_time_regressions(prior, payload)
         except (ValueError, OSError):
             pass
     print()
     print(line)
+    for nodeid, before, after in slow:
+        print(
+            f"bench guard: WALL-TIME REGRESSION {nodeid}: "
+            f"{before}s -> {after}s ({after / before:.2f}x)"
+        )
+
+
+def _is_cold(payload) -> bool:
+    """Whether the run recomputed its campaigns rather than replaying
+    them from a warm result store (older files predate the counter)."""
+    store = payload.get("store")
+    return not (isinstance(store, dict) and store.get("hits"))
+
+
+def _wall_time_regressions(prior, payload):
+    """Per-test slowdowns beyond the flag ratio, cold runs only."""
+    if not (_is_cold(prior) and _is_cold(payload)):
+        return []
+    flagged = []
+    before_all = prior.get("durations_s") or {}
+    for nodeid, after in payload["durations_s"].items():
+        before = before_all.get(nodeid)
+        if (
+            before
+            and before >= _WALL_TIME_MIN_SECONDS
+            and after / before > _WALL_TIME_RATIO_FLAG
+        ):
+            flagged.append((nodeid, before, after))
+    flagged.sort(key=lambda item: item[2] / item[1], reverse=True)
+    return flagged

@@ -22,12 +22,39 @@ Unlike virtual snooping, RegionScout needs per-core hardware tables but
 is oblivious to VM migration — the comparison experiment
 (:mod:`repro.experiments.baseline_comparison`) shows exactly that
 trade-off.
+
+Hot-path structure
+------------------
+
+``plan`` and ``observe_outcome`` run once per coherence transaction, and
+the original formulation walked every core's tracker on each call —
+O(num_cores) dictionary probes per transaction, which made this baseline
+an order of magnitude slower than the virtual-snooping filter. The
+rewrite keeps two *derived* maps on the filter, maintained incrementally
+by the trackers on exact-count and CRH-bucket transitions:
+
+* ``_region_sharers``: region -> set of cores whose exact count is
+  non-zero (the ground truth ``caches_region`` answers), and
+* ``_bucket_cores``: per CRH bucket, the set of cores whose counting
+  hash is non-zero there (the ``crh_possibly_present`` answers — all
+  cores hash a region to the same bucket, so one shared table serves
+  every requester).
+
+Both plans and the filter's counters fall out of set sizes in O(1), and
+plans are additionally memoised per (core, bucket, page_type) with a
+per-bucket epoch bumped on membership changes — the same
+memoise-with-epoch scheme :class:`repro.core.filter.VirtualSnoopFilter`
+uses against the snoop-domain version. Region-to-bucket hashes are
+memoised in a shared table so the multiply-mod runs once per region.
+Every counter update keeps exactly the values the per-core walk would
+have produced (see the inline derivations), which is what makes the
+rewrite invisible to the golden corpus.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cache.line import CacheLine
 from repro.cache.setassoc import CacheObserver
@@ -39,13 +66,29 @@ DEFAULT_REGION_BLOCKS = 64  # one 4 KiB page of 64 B blocks
 DEFAULT_CRH_BUCKETS = 256
 DEFAULT_NSRT_ENTRIES = 32
 
+_HASH_MULTIPLIER = 2654435761
+
 
 class RegionTracker(CacheObserver):
-    """Per-core region occupancy: exact counts plus the CRH summary."""
+    """Per-core region occupancy: exact counts plus the CRH summary.
 
-    def __init__(self, region_bits: int, crh_buckets: int) -> None:
+    Standalone trackers (no ``owner``) behave exactly as before; trackers
+    created by :class:`RegionScoutFilter` additionally maintain the
+    filter's shared region-sharer and bucket-membership maps on count
+    transitions, which is what makes the filter's plan path O(1).
+    """
+
+    def __init__(
+        self,
+        region_bits: int,
+        crh_buckets: int,
+        core: int = -1,
+        owner: Optional["RegionScoutFilter"] = None,
+    ) -> None:
         self.region_bits = region_bits
         self.crh_buckets = crh_buckets
+        self.core = core
+        self._owner = owner
         self._region_counts: Dict[int, int] = {}
         self._crh = [0] * crh_buckets
 
@@ -54,14 +97,31 @@ class RegionTracker(CacheObserver):
 
     def _bucket(self, region: int) -> int:
         # Multiplicative hashing spreads sequential regions across buckets.
-        return (region * 2654435761) % self.crh_buckets
+        return (region * _HASH_MULTIPLIER) % self.crh_buckets
 
     def on_insert(self, line: CacheLine) -> None:
-        region = self._region_of(line.block)
-        count = self._region_counts.get(region, 0)
+        # Inlined _region_of/_bucket: this observer fires on every L2
+        # insert, and the helper-call overhead is measurable there.
+        region = line.block >> self.region_bits
+        counts = self._region_counts
+        count = counts.get(region, 0)
+        counts[region] = count + 1
         if count == 0:
-            self._crh[self._bucket(region)] += 1
-        self._region_counts[region] = count + 1
+            owner = self._owner
+            if owner is None:
+                bucket = (region * _HASH_MULTIPLIER) % self.crh_buckets
+            else:
+                bucket = owner.bucket_of(region)
+                sharers = owner._region_sharers.get(region)
+                if sharers is None:
+                    owner._region_sharers[region] = {self.core}
+                else:
+                    sharers.add(self.core)
+            crh = self._crh
+            crh[bucket] += 1
+            if owner is not None and crh[bucket] == 1:
+                owner._bucket_cores[bucket].add(self.core)
+                owner._bucket_epochs[bucket] += 1
 
     def on_evict(self, line: CacheLine) -> None:
         self._remove(line)
@@ -70,15 +130,30 @@ class RegionTracker(CacheObserver):
         self._remove(line)
 
     def _remove(self, line: CacheLine) -> None:
-        region = self._region_of(line.block)
-        count = self._region_counts.get(region, 0)
+        region = line.block >> self.region_bits
+        counts = self._region_counts
+        count = counts.get(region, 0)
         if count <= 0:
             raise RuntimeError(f"region counter underflow for region {region:#x}")
         if count == 1:
-            del self._region_counts[region]
-            self._crh[self._bucket(region)] -= 1
+            del counts[region]
+            owner = self._owner
+            if owner is None:
+                bucket = (region * _HASH_MULTIPLIER) % self.crh_buckets
+            else:
+                bucket = owner.bucket_of(region)
+                sharers = owner._region_sharers.get(region)
+                if sharers is not None:
+                    sharers.discard(self.core)
+                    if not sharers:
+                        del owner._region_sharers[region]
+            crh = self._crh
+            crh[bucket] -= 1
+            if owner is not None and crh[bucket] == 0:
+                owner._bucket_cores[bucket].discard(self.core)
+                owner._bucket_epochs[bucket] += 1
         else:
-            self._region_counts[region] = count - 1
+            counts[region] = count - 1
 
     def caches_region(self, region: int) -> bool:
         """Exact occupancy (ground truth, used for NSRT validation)."""
@@ -110,19 +185,44 @@ class RegionScoutFilter(PlacementListener):
             raise ValueError(f"region_blocks must be a power of two, got {region_blocks}")
         self.num_cores = num_cores
         self.region_bits = region_blocks.bit_length() - 1
+        self.crh_buckets = crh_buckets
         self.all_cores: FrozenSet[int] = frozenset(range(num_cores))
+        # Derived maps (see module docstring): region -> exact sharer
+        # cores, and per-bucket CRH membership with change epochs. The
+        # trackers keep them incrementally consistent with their counts.
+        self._region_sharers: Dict[int, Set[int]] = {}
+        self._bucket_cores: List[Set[int]] = [set() for _ in range(crh_buckets)]
+        self._bucket_epochs: List[int] = [0] * crh_buckets
+        # region -> CRH bucket, shared across all trackers (identical
+        # hash everywhere), so the multiply-mod runs once per region.
+        self._bucket_memo: Dict[int, int] = {}
         self.trackers: Dict[int, RegionTracker] = {
-            core: RegionTracker(self.region_bits, crh_buckets)
+            core: RegionTracker(self.region_bits, crh_buckets, core=core, owner=self)
             for core in range(num_cores)
         }
         self.nsrt_entries = nsrt_entries
         self._nsrt: Dict[int, "OrderedDict[int, None]"] = {
             core: OrderedDict() for core in range(num_cores)
         }
+        # Memoised plans: NSRT hits keyed (core, page_type) — the
+        # own-core singleton never changes — and CRH plans keyed
+        # (core, bucket, page_type), valid while the bucket's membership
+        # epoch is unchanged (destinations depend only on membership).
+        self._self_plans: Dict[Tuple[int, PageType], RequestPlan] = {}
+        self._plan_cache: Dict[Tuple[int, int, PageType], Tuple[int, RequestPlan]] = {}
         # Statistics about the filter's own behaviour.
         self.nsrt_hits = 0
         self.crh_filtered_cores = 0
         self.false_positive_cores = 0
+
+    def bucket_of(self, region: int) -> int:
+        """The (memoised) CRH bucket every core hashes ``region`` into."""
+        bucket = self._bucket_memo.get(region)
+        if bucket is None:
+            bucket = self._bucket_memo[region] = (
+                region * _HASH_MULTIPLIER
+            ) % self.crh_buckets
+        return bucket
 
     # ------------------------------------------------------------------
     # Plan construction (same contract as VirtualSnoopFilter.plan).
@@ -138,27 +238,58 @@ class RegionScoutFilter(PlacementListener):
         if block is None:
             return RequestPlan.broadcast(self.all_cores, page_type)
         region = block >> self.region_bits
-        if self._nsrt_valid(core, region):
-            self.nsrt_hits += 1
-            return RequestPlan(attempts=(frozenset((core,)),), page_type=page_type)
-        destinations: Set[int] = {core}
-        for other in range(self.num_cores):
-            if other == core:
-                continue
-            tracker = self.trackers[other]
-            if tracker.crh_possibly_present(region):
-                destinations.add(other)
-                if not tracker.caches_region(region):
-                    self.false_positive_cores += 1
-            else:
-                self.crh_filtered_cores += 1
-        return RequestPlan(attempts=(frozenset(destinations),), page_type=page_type)
+        sharers = self._region_sharers.get(region)
+        nsrt = self._nsrt[core]
+        if region in nsrt:
+            # Valid iff no *other* core caches the region (the sharer map
+            # never keeps empty sets, so None means globally uncached).
+            if sharers is None or (len(sharers) == 1 and core in sharers):
+                self.nsrt_hits += 1
+                key = (core, page_type)
+                plan = self._self_plans.get(key)
+                if plan is None:
+                    plan = self._self_plans[key] = RequestPlan(
+                        attempts=(frozenset((core,)),), page_type=page_type
+                    )
+                return plan
+            # Snoop-driven invalidation: another node acquired the region.
+            del nsrt[region]
+        bucket = self._bucket_memo.get(region)
+        if bucket is None:
+            bucket = self._bucket_memo[region] = (
+                region * _HASH_MULTIPLIER
+            ) % self.crh_buckets
+        bucket_cores = self._bucket_cores[bucket]
+        # Counter bookkeeping, O(1) from set sizes. With B = bucket
+        # members besides the requester and S = exact sharers besides the
+        # requester, the per-core walk counted: every non-requester core
+        # outside the bucket as CRH-filtered (num_cores - 1 - |B|), and
+        # every bucket member not actually caching the region as a false
+        # positive (|B| - |S|; caching a region implies a non-zero CRH
+        # bucket, so S is always a subset of B).
+        others_in_bucket = len(bucket_cores) - (core in bucket_cores)
+        if sharers is None:
+            sharers_elsewhere = 0
+        else:
+            sharers_elsewhere = len(sharers) - (core in sharers)
+        self.false_positive_cores += others_in_bucket - sharers_elsewhere
+        self.crh_filtered_cores += self.num_cores - 1 - others_in_bucket
+        epoch = self._bucket_epochs[bucket]
+        key2 = (core, bucket, page_type)
+        cached = self._plan_cache.get(key2)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        destinations = frozenset(bucket_cores) | {core}
+        plan = RequestPlan(attempts=(destinations,), page_type=page_type)
+        self._plan_cache[key2] = (epoch, plan)
+        return plan
 
     def observe_outcome(self, core: int, block: int) -> None:
         """Post-transaction NSRT learning: if no other core holds the
         region, remember it as not-shared."""
         region = block >> self.region_bits
-        if self._region_shared_elsewhere(core, region):
+        sharers = self._region_sharers.get(region)
+        if sharers is not None and not (len(sharers) == 1 and core in sharers):
             return
         nsrt = self._nsrt[core]
         nsrt[region] = None
@@ -167,10 +298,8 @@ class RegionScoutFilter(PlacementListener):
             nsrt.popitem(last=False)
 
     def _region_shared_elsewhere(self, core: int, region: int) -> bool:
-        return any(
-            other != core and tracker.caches_region(region)
-            for other, tracker in self.trackers.items()
-        )
+        sharers = self._region_sharers.get(region)
+        return sharers is not None and not (len(sharers) == 1 and core in sharers)
 
     def _nsrt_valid(self, core: int, region: int) -> bool:
         if region not in self._nsrt[core]:
@@ -180,6 +309,58 @@ class RegionScoutFilter(PlacementListener):
             del self._nsrt[core][region]
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Snapshot support (warm-state reuse; see repro.sim.system).
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data capture of all mutable filter state."""
+        return {
+            "counts": {
+                core: dict(tracker._region_counts)
+                for core, tracker in self.trackers.items()
+            },
+            "crh": {core: list(tracker._crh) for core, tracker in self.trackers.items()},
+            "nsrt": {core: list(entries) for core, entries in self._nsrt.items()},
+            "nsrt_hits": self.nsrt_hits,
+            "crh_filtered_cores": self.crh_filtered_cores,
+            "false_positive_cores": self.false_positive_cores,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Transplant a :meth:`snapshot_state` capture into this filter.
+
+        Mutates the existing trackers in place (the caches hold them as
+        observers) and rebuilds the derived sharer/bucket maps from the
+        restored counts; plan caches are dropped, epochs restart at zero.
+        """
+        self._region_sharers.clear()
+        for bucket_set in self._bucket_cores:
+            bucket_set.clear()
+        self._bucket_epochs = [0] * self.crh_buckets
+        self._plan_cache.clear()
+        self._self_plans.clear()
+        for core, tracker in self.trackers.items():
+            tracker._region_counts = dict(state["counts"][core])
+            tracker._crh = list(state["crh"][core])
+            for region in tracker._region_counts:
+                sharers = self._region_sharers.get(region)
+                if sharers is None:
+                    self._region_sharers[region] = {core}
+                else:
+                    sharers.add(core)
+            for bucket, value in enumerate(tracker._crh):
+                if value > 0:
+                    self._bucket_cores[bucket].add(core)
+        for core, regions in state["nsrt"].items():
+            nsrt = self._nsrt[core]
+            nsrt.clear()
+            for region in regions:
+                nsrt[region] = None
+        self.nsrt_hits = state["nsrt_hits"]
+        self.crh_filtered_cores = state["crh_filtered_cores"]
+        self.false_positive_cores = state["false_positive_cores"]
 
     # ------------------------------------------------------------------
     # PlacementListener interface — RegionScout ignores VM events.

@@ -223,12 +223,23 @@ def _config_from_args(args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.sim import build_system, run_simulation
+    from repro.sim import SimTask, run_simulation_task
+    from repro.sim.runner import prepare_task
 
     config = _config_from_args(args)
-    system = build_system(config, get_profile(args.app))
-    run_simulation(system)
-    stats = system.stats
+    task = SimTask(config, args.app)
+    if args.trace is None and not args.sanitize:
+        # Plain runs go through the result store (and the warm-state
+        # snapshot layer under it) — a repeated run is a cache hit.
+        stats = run_simulation_task(task)
+        system = None
+    else:
+        # Tracing writes a file and the sanitizer reports live state:
+        # both need the simulation to actually run, so only the
+        # warm-state snapshot layer applies.
+        system, engine, clocks = prepare_task(task)
+        engine.measure(clocks)
+        stats = system.stats
     # Zero-length runs (e.g. --accesses 0) produce no measured accesses
     # and may produce no coherence transactions: print "n/a" rather than
     # a 0-division-dodged 0.0 that reads as a perfect score.
@@ -250,11 +261,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         ("migrations", stats.migrations),
         ("cow events", stats.cow_events),
     ]
-    if system.tracer is not None:
+    if system is not None and system.tracer is not None:
         rows.append(("trace events written", system.tracer.sink.events_written))
     if stats.metrics is not None:
         rows.append(("metrics windows sampled", len(stats.metrics)))
-    sanitizer = system.sanitizer
+    sanitizer = system.sanitizer if system is not None else None
     if sanitizer is not None:
         summary = sanitizer.summary()
         rows.extend([
@@ -341,22 +352,40 @@ def cmd_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """Run one simulation under cProfile; print the top-N hotspots."""
+    """Run one simulation under cProfile; print the top-N hotspots.
+
+    The run is split at the measurement boundary so the report shows
+    where the wall-clock actually goes: the warm-up phase (or the
+    warm-state snapshot restore that replaced it) versus the measured
+    phase, plus the result store's traffic for the process.
+    """
     import cProfile
     import io
     import pstats
     import time
 
-    from repro.sim import build_system, run_simulation
+    from repro.sim import SimTask
+    from repro.sim.runner import prepare_task
+    from repro.store import get_store
 
     config = _config_from_args(args)
-    system = build_system(config, get_profile(args.app))
+    task = SimTask(config, args.app)
+    store = get_store()
+    snapshot_hits_before = store.snapshot_hits if store is not None else 0
     profiler = cProfile.Profile()
     start = time.perf_counter()  # repro-lint: disable=RPL004; real-time profiling
     profiler.enable()
-    run_simulation(system)
+    system, engine, clocks = prepare_task(task)
+    warm_done = time.perf_counter()  # repro-lint: disable=RPL004; real-time profiling
+    engine.measure(clocks)
     profiler.disable()
-    elapsed = time.perf_counter() - start  # repro-lint: disable=RPL004; real-time profiling
+    end = time.perf_counter()  # repro-lint: disable=RPL004; real-time profiling
+    elapsed = end - start
+    warm_elapsed = warm_done - start
+    measure_elapsed = end - warm_done
+    restored = (
+        store is not None and store.snapshot_hits > snapshot_hits_before
+    )
     stream = io.StringIO()
     pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(args.top)
     print(stream.getvalue().rstrip())
@@ -368,13 +397,36 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
     else:
         # --accesses 0: a per-access rate would be division by zero (or,
-        # dodged, a nonsense number); say so instead.
+        # dodged, a nonsense number): say so instead.
         rate = "no measured accesses, per-access rate n/a"
     print()
     print(
         f"{args.app} / {args.policy}: {stats.l1_accesses} accesses in "
         f"{elapsed:.2f}s under the profiler ({rate})"
     )
+    warm_label = (
+        "build + warm-up (restored from warm-state snapshot)"
+        if restored
+        else "build + warm-up"
+    )
+    share = f" ({100 * warm_elapsed / elapsed:.0f}%)" if elapsed else ""
+    print(f"  {warm_label}: {warm_elapsed:.2f}s{share}")
+    print(f"  measured phase: {measure_elapsed:.2f}s")
+    if store is not None:
+        counters = store.counters()
+        print(
+            "  store (this process): "
+            f"results {counters['hits']} hit / {counters['misses']} miss, "
+            f"snapshots {counters['snapshot_hits']} hit / "
+            f"{counters['snapshot_misses']} miss"
+            + (
+                f", {counters['skipped'] + counters['snapshot_skipped']} skipped"
+                if counters["skipped"] or counters["snapshot_skipped"]
+                else ""
+            )
+        )
+    else:
+        print("  store: disabled (REPRO_STORE=off)")
     return 0
 
 

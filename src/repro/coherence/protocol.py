@@ -271,7 +271,13 @@ class TokenProtocol:
         else:
             self.stats.upgrades += 1
         ack_latency = 0
-        for victim in victims:
+        # Sorted: the invalidations fire observer chains (residence
+        # counters -> vCPU-map removals) whose event order is visible in
+        # the removal log; iterating the set raw would tie that order to
+        # the set's internal table history, which a warm-state restore
+        # cannot reproduce. Contents-determined order keeps straight and
+        # restored runs bit-identical.
+        for victim in sorted(victims):
             hierarchy = self.caches.get(victim)
             if hierarchy is not None:
                 hierarchy.invalidate(block)

@@ -18,6 +18,7 @@ from repro.sim.runner import (
     set_campaign,
     set_default_jobs,
     task_key,
+    warmup_fingerprint,
 )
 from repro.sim.stats import SimStats
 from repro.sim.system import (
@@ -53,4 +54,5 @@ __all__ = [
     "set_campaign",
     "set_default_jobs",
     "task_key",
+    "warmup_fingerprint",
 ]

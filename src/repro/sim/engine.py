@@ -116,35 +116,72 @@ class SimulationEngine:
         the steady-state behaviour the paper measures. Migrations only
         start with the measured phase.
         """
-        budget = (
-            accesses_per_vcpu
-            if accesses_per_vcpu is not None
-            else self.config.accesses_per_vcpu
+        self.measure(
+            self.warm(warmup_accesses_per_vcpu), accesses_per_vcpu
         )
+
+    def warm(
+        self, warmup_accesses_per_vcpu: Optional[int] = None
+    ) -> List[int]:
+        """Run the warm-up phase and reset counters; returns the clocks.
+
+        After this the system is in exactly the state
+        :meth:`restore_warm` reproduces from a snapshot: architectural
+        state warm, every measurement counter zeroed.
+        """
         warmup = (
             warmup_accesses_per_vcpu
             if warmup_accesses_per_vcpu is not None
             else self.config.warmup_accesses_per_vcpu
         )
         clocks = [0] * len(self._vcpus)
-        # The access loop allocates heavily into long-lived containers
-        # (cache lines, registry state), which makes the cyclic GC fire
-        # constantly for no reclaimable garbage. Everything the engine
-        # allocates is reachable or refcount-collected, so pausing the
-        # collector for the run is purely a speed-up.
+        if warmup > 0:
+            # The access loop allocates heavily into long-lived containers
+            # (cache lines, registry state), which makes the cyclic GC fire
+            # constantly for no reclaimable garbage. Everything the engine
+            # allocates is reachable or refcount-collected, so pausing the
+            # collector for the phase is purely a speed-up.
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                clocks = self._run_phase(clocks, warmup, migrate=False)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            self._reset_measurements()
+        return clocks
+
+    def restore_warm(self, state: dict) -> List[int]:
+        """Reach the post-:meth:`warm` state from a snapshot instead.
+
+        Restores the architectural state into the freshly built system,
+        then performs the same measurement reset the straight path runs
+        at the warm-up boundary, so both paths converge to bit-identical
+        pre-measurement state.
+        """
+        clocks = self.system.restore(state)
+        self._reset_measurements()
+        return clocks
+
+    def measure(
+        self, clocks: List[int], accesses_per_vcpu: Optional[int] = None
+    ) -> None:
+        """Run the measured phase from post-warm-up ``clocks``."""
+        budget = (
+            accesses_per_vcpu
+            if accesses_per_vcpu is not None
+            else self.config.accesses_per_vcpu
+        )
+        if self._migration_period is not None:
+            self._next_migration = max(clocks) + self._migration_period
+        start = min(clocks)
+        if self._tracer is not None:
+            self._tracer.begin_measurement(start)
+        if self._metrics is not None:
+            self._next_sample = self._metrics.begin(start)
         gc_was_enabled = gc.isenabled()
         gc.disable()
         try:
-            if warmup > 0:
-                clocks = self._run_phase(clocks, warmup, migrate=False)
-                self._reset_measurements()
-            if self._migration_period is not None:
-                self._next_migration = max(clocks) + self._migration_period
-            start = min(clocks)
-            if self._tracer is not None:
-                self._tracer.begin_measurement(start)
-            if self._metrics is not None:
-                self._next_sample = self._metrics.begin(start)
             clocks = self._run_phase(clocks, budget, migrate=True)
         finally:
             if gc_was_enabled:

@@ -72,8 +72,9 @@ from typing import (
 
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
-from repro.sim.system import build_system
-from repro.sim.engine import run_simulation
+from repro.sim.system import SnapshotMismatch, build_system
+from repro.sim.engine import SimulationEngine
+from repro.store import get_store, snapshots_enabled
 from repro.workloads import get_profile
 
 T = TypeVar("T")
@@ -100,10 +101,94 @@ def run_simulation_task(task: SimTask) -> SimStats:
     Module-level (and argument-picklable) so a multiprocessing pool can
     ship it to workers; also the serial path's worker, so both paths run
     byte-for-byte the same code.
+
+    Reuse, when a :mod:`repro.store` is configured (the default):
+
+    * a stored **result** for this exact cell is returned directly;
+    * otherwise a stored **warm-state snapshot** for the cell's warmup
+      fingerprint replaces the warm-up phase (and a fresh warm-up is
+      snapshotted for the next cell sharing the fingerprint).
+
+    Both substitutions are bit-identical by construction — the result
+    round-trips losslessly through ``SimStats.to_dict``, and the
+    snapshot-differential tests prove restored ≡ straight for every
+    policy. Sanitized runs never *consume* snapshots (the sanitizer's
+    shadow state is built by observing the warm-up, which a restore
+    skips) but still produce them — the architectural state is
+    unaffected by the pure-observer sanitizer.
     """
+    store = get_store()
+    if store is not None:
+        stats = store.load_result(
+            task_key(task), task.app, config_to_dict(task.config)
+        )
+        if stats is not None:
+            return stats
+    system, engine, clocks = prepare_task(task)
+    engine.measure(clocks)
+    stats = system.stats
+    if store is not None:
+        store.save_result(
+            task_key(task), task.app, config_to_dict(task.config), stats
+        )
+    return stats
+
+
+def prepare_task(task: SimTask):
+    """Build a system and bring it to the measurement boundary.
+
+    Returns ``(system, engine, clocks)`` with the warm-up done — served
+    from a stored warm-state snapshot when one matches the task's warmup
+    fingerprint, run (and snapshotted for the next sharer) otherwise.
+    Callers that need the live system (tracing, sanitizing, profiling)
+    use this directly and then run ``engine.measure(clocks)``;
+    :func:`run_simulation_task` adds the result-store layer on top.
+    """
+    store = get_store()
     system = build_system(task.config, get_profile(task.app))
-    run_simulation(system)
-    return system.stats
+    engine = SimulationEngine(system)
+    clocks = None
+    fingerprint_key = fingerprint = None
+    if (
+        store is not None
+        and snapshots_enabled()
+        and task.config.warmup_accesses_per_vcpu > 0
+    ):
+        fingerprint_key, fingerprint = warmup_fingerprint(task)
+        if not task.config.sanitize:
+            state = store.load_snapshot(fingerprint_key, task.app, fingerprint)
+            if state is not None:
+                try:
+                    clocks = engine.restore_warm(state)
+                except SnapshotMismatch as exc:
+                    # Raised before any mutation: warming this system is
+                    # still safe. Convert the hit to a loud skip.
+                    store.snapshot_hits -= 1
+                    store.snapshot_skipped += 1
+                    print(
+                        f"[repro.store] skipping snapshot {fingerprint_key}: {exc}",
+                        file=sys.stderr,
+                    )
+                except Exception as exc:
+                    # Mutation-phase failure (malformed plain data): the
+                    # system may be half-restored, so rebuild it.
+                    store.snapshot_hits -= 1
+                    store.snapshot_skipped += 1
+                    print(
+                        f"[repro.store] skipping snapshot {fingerprint_key}: "
+                        f"restore failed ({exc.__class__.__name__}: {exc})",
+                        file=sys.stderr,
+                    )
+                    system = build_system(task.config, get_profile(task.app))
+                    engine = SimulationEngine(system)
+                    clocks = None
+    if clocks is None:
+        clocks = engine.warm()
+        if fingerprint_key is not None:
+            store.save_snapshot(
+                fingerprint_key, task.app, fingerprint, system.snapshot(clocks)
+            )
+    return system, engine, clocks
 
 
 def parse_jobs(value: Optional[str]) -> int:
@@ -230,6 +315,8 @@ class TaskResult(NamedTuple):
     attempts: int
     wall_seconds: float
     from_checkpoint: bool
+    # Served by the cross-run result store (repro.store) without running.
+    from_store: bool = False
 
     @property
     def ok(self) -> bool:
@@ -260,6 +347,54 @@ def task_key(task: SimTask) -> str:
     payload = {"app": task.app, "config": config_to_dict(task.config)}
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+WARMUP_INERT_FIELDS = frozenset(
+    {
+        # Migrations are disabled during warm-up; the measured-phase
+        # schedule is recomputed from the post-warm-up clocks.
+        "migration_period_ms",
+        # Measured-phase budget only (the workload coverage cap uses the
+        # *warm-up* budget, which stays in the fingerprint).
+        "accesses_per_vcpu",
+        # Observability begins at the measurement boundary and its
+        # observers never perturb architectural state or RNG draws.
+        "trace",
+        "trace_format",
+        "metrics_sample_every",
+        # The sanitizer is a pure observer too; sanitized runs are
+        # instead barred from *consuming* snapshots (their shadow state
+        # must observe the warm-up), see run_simulation_task.
+        "sanitize",
+        "sanitize_mode",
+    }
+)
+"""Config fields provably inert before measurement begins.
+
+Everything else — policies, thresholds, cache geometry, seeds, VM
+shapes, the warm-up budget itself — changes the post-warm-up state and
+stays in the fingerprint. Per-field rationale lives in DESIGN.md's
+reuse-layer section; when in doubt, leave a field in the fingerprint
+(a too-wide fingerprint only costs redundant warm-ups, a too-narrow one
+serves wrong state).
+"""
+
+
+def warmup_fingerprint(task: SimTask) -> tuple:
+    """(key, payload) identifying the post-warm-up state of a cell.
+
+    Two cells differing only in :data:`WARMUP_INERT_FIELDS` share a
+    fingerprint, so a period sweep (or an observability re-run) warms
+    once and forks. Hashed exactly like :func:`task_key`.
+    """
+    fingerprint = {
+        name: value
+        for name, value in config_to_dict(task.config).items()
+        if name not in WARMUP_INERT_FIELDS
+    }
+    payload = {"app": task.app, "warmup_config": fingerprint}
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16], fingerprint
 
 
 # ----------------------------------------------------------------------
@@ -404,7 +539,8 @@ def _git_revision() -> str:
 def _manifest_entry(result: TaskResult, key: str) -> dict:
     task = result.task
     us_per_access = None
-    if result.stats is not None and result.stats.l1_accesses and not result.from_checkpoint:
+    reused = result.from_checkpoint or result.from_store
+    if result.stats is not None and result.stats.l1_accesses and not reused:
         us_per_access = round(1e6 * result.wall_seconds / result.stats.l1_accesses, 3)
     entry = {
         "key": key,
@@ -417,6 +553,7 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
         "seed": task.config.seed,
         "ok": result.ok,
         "from_checkpoint": result.from_checkpoint,
+        "from_store": result.from_store,
         "attempts": result.attempts,
         "wall_seconds": round(result.wall_seconds, 3),
         "us_per_access": us_per_access,
@@ -446,6 +583,7 @@ def _write_manifest(
         safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
         name = f"manifest-{safe}.json"
     entries = [_manifest_entry(res, key) for res, key in zip(results, keys)]
+    store = get_store()
     payload = {
         "format": MANIFEST_FORMAT,
         "label": label,
@@ -458,8 +596,12 @@ def _write_manifest(
             "ok": sum(1 for e in entries if e["ok"]),
             "failed": sum(1 for e in entries if not e["ok"]),
             "from_checkpoint": sum(1 for e in entries if e["from_checkpoint"]),
+            "from_store": sum(1 for e in entries if e["from_store"]),
             "wall_seconds": round(sum(e["wall_seconds"] for e in entries), 3),
         },
+        # Parent-process store traffic (worker-side hits happen in their
+        # own processes and are not aggregated here).
+        "store": store.counters() if store is not None else None,
         "failures": [e["key"] for e in entries if not e["ok"]],
         "tasks": entries,
     }
@@ -697,15 +839,43 @@ def run_matrix_detailed(
     keys = [task_key(task) for task in tasks]
     results: List[Optional[TaskResult]] = [None] * len(tasks)
     ckpt = Path(checkpoint_dir) if checkpoint_dir else None
+    # The store holds run_simulation_task results; a custom task_fn
+    # computes something else under the same keys, so never serve it
+    # store entries (checkpoints are per-campaign and stay the caller's
+    # responsibility to scope).
+    store = get_store() if task_fn is run_simulation_task else None
     to_run: List[int] = []
-    if ckpt is not None:
-        ckpt.mkdir(parents=True, exist_ok=True)
+    if ckpt is not None or store is not None:
+        if ckpt is not None:
+            ckpt.mkdir(parents=True, exist_ok=True)
         for i, task in enumerate(tasks):
-            stats = _load_checkpoint(_checkpoint_path(ckpt, keys[i]), keys[i])
-            if stats is not None:
-                results[i] = TaskResult(i, task, stats, None, 0, 0.0, True)
-            else:
+            stats = None
+            from_checkpoint = from_store = False
+            if ckpt is not None:
+                stats = _load_checkpoint(_checkpoint_path(ckpt, keys[i]), keys[i])
+                from_checkpoint = stats is not None
+            if stats is None and store is not None:
+                stats = store.load_result(
+                    keys[i], task.app, config_to_dict(task.config)
+                )
+                from_store = stats is not None
+            if stats is None:
                 to_run.append(i)
+                continue
+            # Promote each way so the next consumer finds it closer:
+            # a store hit seeds this campaign's checkpoints, a resumed
+            # checkpoint seeds the store for every other campaign.
+            if from_store and ckpt is not None:
+                _save_checkpoint(
+                    _checkpoint_path(ckpt, keys[i]), task, keys[i], stats
+                )
+            if from_checkpoint and store is not None and not store.has_result(keys[i]):
+                store.save_result(
+                    keys[i], task.app, config_to_dict(task.config), stats
+                )
+            results[i] = TaskResult(
+                i, task, stats, None, 0, 0.0, from_checkpoint, from_store
+            )
     else:
         to_run = list(range(len(tasks)))
 

@@ -15,17 +15,19 @@ from itertools import combinations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cache.hierarchy import PrivateHierarchy
+from repro.cache.line import CacheLine
 from repro.coherence.protocol import TokenProtocol
-from repro.coherence.registry import TokenRegistry
+from repro.coherence.registry import BlockState, TokenRegistry
 from repro.core.filter import VirtualSnoopFilter
 from repro.hypervisor.hypervisor import Hypervisor, PlacementListener
-from repro.hypervisor.memory import MemoryManager
+from repro.hypervisor.memory import HostPageInfo, MemoryManager
 from repro.hypervisor.vm import DOM0_VM_ID, VirtualMachine
 from repro.interconnect.messages import FlitSizing, MessageKind
 from repro.interconnect.network import NetworkModel
 from repro.interconnect.topology import MeshTopology
 from repro.mem.address import AddressLayout
 from repro.mem.controller import MemoryController
+from repro.mem.pagetype import PageType
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.workloads.generator import VmWorkload
@@ -93,8 +95,10 @@ class CoherenceBridge(PlacementListener):
         """
         first_block = self.layout.block_in_page(host_page, 0)
         for block in range(first_block, first_block + self.layout.blocks_per_page):
-            sharers = self.registry.drop_block(block)
-            for core in sharers:
+            # Sorted for the same reason as the protocol's invalidation
+            # loop: the order reaches the removal log via the residence
+            # observers, and must not depend on set table history.
+            for core in sorted(self.registry.drop_block(block)):
                 hierarchy = self.caches.get(core)
                 if hierarchy is not None:
                     hierarchy.invalidate(block)
@@ -139,6 +143,43 @@ def compute_friends(
     return friends
 
 
+SNAPSHOT_FORMAT = 1
+"""Layout version of the :meth:`SimulatedSystem.snapshot` state dict."""
+
+
+def _capture_sets(sets) -> list:
+    """Each cache set as an ordered ``(block, vm_id, dirty)`` list.
+
+    The sets are OrderedDicts whose insertion order *is* the LRU order,
+    so a plain item walk captures recency exactly.
+    """
+    return [
+        [(line.block, line.vm_id, line.dirty) for line in cache_set.values()]
+        for cache_set in sets
+    ]
+
+
+def _restore_sets(sets, captured: list) -> None:
+    """Refill the existing set OrderedDicts in place, preserving order.
+
+    In place because the hierarchy's ``_l1_sets``/``_l2_sets`` aliases
+    *are* the caches' own set lists — replacing the dicts would split
+    them.
+    """
+    for cache_set, lines in zip(sets, captured):
+        cache_set.clear()
+        for block, vm_id, dirty in lines:
+            cache_set[block] = CacheLine(block, vm_id, dirty)
+
+
+class SnapshotMismatch(ValueError):
+    """A warm-state snapshot does not fit this system.
+
+    Raised by :meth:`SimulatedSystem.restore` *before any mutation*, so a
+    caller can fall back to a normal warm-up on the same system.
+    """
+
+
 @dataclass
 class SimulatedSystem:
     """All components of one built simulation, ready for the engine."""
@@ -164,6 +205,216 @@ class SimulatedSystem:
     # hot-path seams for whichever is present.
     tracer: Optional["Tracer"] = field(default=None)
     metrics: Optional["MetricsRecorder"] = field(default=None)
+
+    # ------------------------------------------------------------------
+    # Warm-state snapshots (the reuse layer; see repro.store).
+    #
+    # A snapshot is a plain-data dict (builtins all the way down, so it
+    # pickles losslessly) of every piece of architectural state that the
+    # warm-up phase mutates. Restoring transplants it into a *freshly
+    # built* system for the same warmup fingerprint, mutating existing
+    # containers in place — the engine and hierarchies hold direct
+    # aliases (set lists, bound methods, stepper closures over cursor and
+    # RNG objects), so object identities must survive.
+    #
+    # Deliberately NOT captured, because a fresh build is provably in the
+    # post-warmup state already (DESIGN.md "Warm-state snapshot reuse"):
+    #   * vCPU placement and the snoop-domain table — migrations are
+    #     disabled during warm-up, so no placement ever changes and no
+    #     domain entry is added or removed after construction; the
+    #     domain/placement sanity stamps below verify this at restore.
+    #   * the engine's migration RNG — it draws only when a migration
+    #     fires, and migrations are measurement-only.
+    #   * measurement counters (stats, network, memory controller, cache
+    #     hit counters, removal/relocation logs) — the engine resets them
+    #     at the warm-up/measurement boundary on both paths.
+    # ------------------------------------------------------------------
+
+    def snapshot(self, clocks: List[int]) -> dict:
+        """Capture post-warmup architectural state as plain data.
+
+        ``clocks`` are the per-vCPU cycle counts returned by the engine's
+        warm-up phase; they are part of the state (measurement timing
+        starts from them).
+        """
+        registry_blocks = [
+            (
+                block,
+                sorted(state.sharers),
+                state.owner,
+                state.dirty,
+                list(state.providers.items()),
+            )
+            for block, state in self.registry._blocks.items()
+        ]
+        caches = {
+            core: {
+                "l1": _capture_sets(h._l1_sets),
+                "l2": _capture_sets(h._l2_sets),
+            }
+            for core, h in self.caches.items()
+        }
+        if isinstance(self.snoop_filter, VirtualSnoopFilter):
+            filter_state = {
+                "residence": {
+                    core: list(tracker._counts.items())
+                    for core, tracker in self.snoop_filter.trackers.items()
+                }
+            }
+            domains_version = self.snoop_filter.domains.version
+        else:
+            filter_state = self.snoop_filter.snapshot_state()
+            domains_version = None
+        memory = self.hypervisor.memory
+        workloads = {
+            vm_id: {
+                "rng": w._rng.getstate(),
+                "private": [(c.page, c.block) for c in w._private_streams],
+                "shared": (w._shared_stream.page, w._shared_stream.block),
+                "content": (w._content_stream.page, w._content_stream.block),
+                "hyp": (w._hyp_stream.page, w._hyp_stream.block),
+                "dom0": (w._dom0_stream.page, w._dom0_stream.block),
+            }
+            for vm_id, w in self.workloads.items()
+        }
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "clocks": list(clocks),
+            # Sanity stamps: state a fresh build must already agree on.
+            "placements": [
+                (vcpu.vm_id, vcpu.index, vcpu.core)
+                for vm in self.vms
+                for vcpu in vm.vcpus
+            ],
+            "domains_version": domains_version,
+            "caches": caches,
+            "registry": registry_blocks,
+            "filter": filter_state,
+            "memory": {
+                "tables": {
+                    space: list(table.items())
+                    for space, table in memory._tables.items()
+                },
+                "host_info": [
+                    (page, info.page_type.value, info.owner_vm, sorted(info.sharer_vms))
+                    for page, info in memory._host_info.items()
+                ],
+                "cow_faults": memory.cow_faults,
+                "shared_pages_created": memory.shared_pages_created,
+            },
+            "content": {
+                "labels": list(self.hypervisor.content._labels.items()),
+                "scans": self.hypervisor.content.scans,
+                "pages_merged": self.hypervisor.content.pages_merged,
+            },
+            "host": {
+                "next_fresh": self.hypervisor.host._next_fresh,
+                "free_list": list(self.hypervisor.host._free_list),
+                "allocated": sorted(self.hypervisor.host._allocated),
+            },
+            "workloads": workloads,
+        }
+
+    def restore(self, state: dict) -> List[int]:
+        """Transplant a :meth:`snapshot` capture into this (fresh) system.
+
+        Returns the captured per-vCPU clocks. Existing containers are
+        mutated in place; no component object is replaced. Measurement
+        counters are *not* touched — the engine resets them at the
+        measurement boundary exactly as it does after a real warm-up
+        (see ``SimulationEngine.restore_warm``).
+
+        Raises :class:`SnapshotMismatch` before any mutation when the
+        snapshot provably does not belong to this system.
+        """
+        if state.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotMismatch(
+                f"snapshot format {state.get('format')!r} != {SNAPSHOT_FORMAT}"
+            )
+        placements = [
+            (vcpu.vm_id, vcpu.index, vcpu.core)
+            for vm in self.vms
+            for vcpu in vm.vcpus
+        ]
+        if state["placements"] != placements:
+            raise SnapshotMismatch(
+                "snapshot vCPU placement differs from the built system "
+                "(warm-up is migration-free, so they must agree)"
+            )
+        is_vsnoop = isinstance(self.snoop_filter, VirtualSnoopFilter)
+        if is_vsnoop:
+            if state["domains_version"] != self.snoop_filter.domains.version:
+                raise SnapshotMismatch(
+                    f"snapshot domain-table version {state['domains_version']} "
+                    f"!= built system's {self.snoop_filter.domains.version}"
+                )
+        if set(state["caches"]) != set(self.caches) or set(
+            state["workloads"]
+        ) != set(self.workloads):
+            raise SnapshotMismatch("snapshot core/VM population differs")
+
+        for core, captured in state["caches"].items():
+            hierarchy = self.caches[core]
+            _restore_sets(hierarchy._l1_sets, captured["l1"])
+            _restore_sets(hierarchy._l2_sets, captured["l2"])
+        blocks = self.registry._blocks
+        blocks.clear()
+        for block, sharers, owner, dirty, providers in state["registry"]:
+            record = BlockState()
+            record.sharers.update(sharers)
+            record.owner = owner
+            record.dirty = dirty
+            record.providers.update(providers)
+            blocks[block] = record
+        if is_vsnoop:
+            for core, counts in state["filter"]["residence"].items():
+                tracker = self.snoop_filter.trackers[core]
+                tracker._counts.clear()
+                tracker._counts.update(counts)
+            self.snoop_filter._plan_cache.clear()
+            self.snoop_filter._plan_cache_version = self.snoop_filter.domains.version
+        else:
+            self.snoop_filter.restore_state(state["filter"])
+        memory = self.hypervisor.memory
+        captured_memory = state["memory"]
+        for space, entries in captured_memory["tables"].items():
+            table = memory._tables[space]
+            table.clear()
+            table.update(entries)
+        memory._host_info.clear()
+        for page, type_value, owner_vm, sharer_vms in captured_memory["host_info"]:
+            memory._host_info[page] = HostPageInfo(
+                page_type=PageType(type_value),
+                owner_vm=owner_vm,
+                sharer_vms=set(sharer_vms),
+            )
+        memory.cow_faults = captured_memory["cow_faults"]
+        memory.shared_pages_created = captured_memory["shared_pages_created"]
+        content = self.hypervisor.content
+        content._labels.clear()
+        content._labels.update(state["content"]["labels"])
+        content.scans = state["content"]["scans"]
+        content.pages_merged = state["content"]["pages_merged"]
+        host = self.hypervisor.host
+        host._next_fresh = state["host"]["next_fresh"]
+        host._free_list[:] = state["host"]["free_list"]
+        host._allocated.clear()
+        host._allocated.update(state["host"]["allocated"])
+        for vm_id, captured in state["workloads"].items():
+            workload = self.workloads[vm_id]
+            workload._rng.setstate(captured["rng"])
+            for cursor, (page, block) in zip(
+                workload._private_streams, captured["private"]
+            ):
+                cursor.page, cursor.block = page, block
+            for name, cursor in (
+                ("shared", workload._shared_stream),
+                ("content", workload._content_stream),
+                ("hyp", workload._hyp_stream),
+                ("dom0", workload._dom0_stream),
+            ):
+                cursor.page, cursor.block = captured[name]
+        return list(state["clocks"])
 
 
 def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:

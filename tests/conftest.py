@@ -7,6 +7,32 @@ eyeball the diff of the regenerated JSON, and commit the data files with
 the code change that caused them (see CHANGES.md conventions).
 """
 
+import os
+import tempfile
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_store():
+    """Point REPRO_STORE at a per-session temp dir for the whole suite.
+
+    The store defaults to ``~/.cache/repro``; tests must neither read a
+    developer's real store (stale entries would mask regressions the
+    suite exists to catch) nor pollute it with the suite's toy cells.
+    Individual tests still repoint or disable it via monkeypatch.
+    """
+    previous = os.environ.get("REPRO_STORE")
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+        os.environ["REPRO_STORE"] = tmp
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_STORE", None)
+            else:
+                os.environ["REPRO_STORE"] = previous
+
 
 def pytest_addoption(parser):
     parser.addoption(

@@ -66,4 +66,11 @@ GOLDEN_CASES = {
         ),
         "ocean",
     ),
+    # The RegionScout baseline (repro.baselines.regionscout): CRH
+    # filtering, NSRT learning and migration-obliviousness all exercised.
+    # Its data file was generated before the filter's hot-path rewrite,
+    # so this case proves the rewrite is byte-for-byte equivalent.
+    "regionscout-fft": SimTask(
+        _case(filter_kind="regionscout", migration_period_ms=0.5), "fft"
+    ),
 }

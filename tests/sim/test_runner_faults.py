@@ -164,7 +164,11 @@ class TestCheckpointResume:
         assert manifest["interrupted"] is True
         assert manifest["totals"]["ok"] == 2
 
-    def test_resume_runs_only_missing_cells(self, tmp_path):
+    def test_resume_runs_only_missing_cells(self, tmp_path, monkeypatch):
+        # Store off: this test pins down *checkpoint* semantics, and a
+        # cell another test already pushed into the session store would
+        # otherwise surface here as from_store instead of a fresh run.
+        monkeypatch.setenv("REPRO_STORE", "off")
         tasks = seed_tasks(1, 2, 3, 4)
         with pytest.raises(CampaignInterrupted):
             run_matrix_detailed(
@@ -183,6 +187,7 @@ class TestCheckpointResume:
         assert manifest["interrupted"] is False
         assert manifest["totals"] == {
             "tasks": 4, "ok": 4, "failed": 0, "from_checkpoint": 2,
+            "from_store": 0,
             "wall_seconds": manifest["totals"]["wall_seconds"],
         }
 

@@ -120,6 +120,10 @@ class TestExperimentCampaign:
         monkeypatch.setitem(
             EXPERIMENTS, "tinyexp", ("tests.sim.tiny_experiment", "Tiny test matrix")
         )
+        # These tests pin down checkpoint/--resume semantics; a cell an
+        # earlier test pushed into the session store would otherwise be
+        # served as from_store and mask the behaviour under test.
+        monkeypatch.setenv("REPRO_STORE", "off")
 
     def test_out_writes_checkpoints_and_manifest(self, tmp_path, capsys):
         out = tmp_path / "campaign"
@@ -128,6 +132,7 @@ class TestExperimentCampaign:
         manifest = json.loads((out / "manifest-tiny.json").read_text())
         assert manifest["totals"] == {
             "tasks": 2, "ok": 2, "failed": 0, "from_checkpoint": 0,
+            "from_store": 0,
             "wall_seconds": manifest["totals"]["wall_seconds"],
         }
         cells = [p for p in out.glob("*.json") if not p.name.startswith("manifest")]
