@@ -73,10 +73,16 @@ def pytest_sessionfinish(session, exitstatus):
 
     rev = _current_rev()
     store = get_store()
+    # Which simulation kernel the campaigns ran under. Results are
+    # bit-identical either way (the differential CI lane proves it), so
+    # the kernel only matters for wall-time bookkeeping: runs are
+    # compared like-for-like and forced-kernel runs get their own file.
+    kernel = os.environ.get("REPRO_KERNEL") or "auto"
     payload = {
         "rev": rev,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "fast_mode": os.environ.get("REPRO_FAST", "") not in ("", "0"),
+        "kernel": kernel,
         "jobs": default_jobs(),
         "total_duration_s": round(sum(_durations.values()), 3),
         "durations_s": dict(sorted(_durations.items())),
@@ -99,7 +105,8 @@ def pytest_sessionfinish(session, exitstatus):
             "cells": sum(1 for p in files if not p.name.startswith("manifest")),
         }
     RESULTS_DIR.mkdir(exist_ok=True)
-    out_path = RESULTS_DIR / f"BENCH_{rev}.json"
+    suffix = "" if kernel == "auto" else f"-{kernel}"
+    out_path = RESULTS_DIR / f"BENCH_{rev}{suffix}.json"
     out_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     previous = [
         p for p in sorted(RESULTS_DIR.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime)
@@ -107,19 +114,28 @@ def pytest_sessionfinish(session, exitstatus):
     ]
     line = f"bench guard: wrote {out_path}"
     slow = []
-    if previous:
+    # Compare against the most recent file recorded like-for-like: same
+    # mode and same kernel (a batched run against a reference run would
+    # report the kernels' speed difference as a "regression").
+    for prior_path in reversed(previous):
         try:
-            prior = json.loads(previous[-1].read_text())
-            prior_total = prior.get("total_duration_s") or 0.0
-            if prior_total and prior.get("fast_mode") == payload["fast_mode"]:
-                ratio = payload["total_duration_s"] / prior_total
-                line += (
-                    f" (total {payload['total_duration_s']}s, "
-                    f"{ratio:.2f}x of {prior.get('rev')})"
-                )
-                slow = _wall_time_regressions(prior, payload)
+            prior = json.loads(prior_path.read_text())
         except (ValueError, OSError):
-            pass
+            continue
+        if (
+            prior.get("fast_mode") != payload["fast_mode"]
+            or prior.get("kernel", "auto") != kernel
+        ):
+            continue
+        prior_total = prior.get("total_duration_s") or 0.0
+        if prior_total:
+            ratio = payload["total_duration_s"] / prior_total
+            line += (
+                f" (total {payload['total_duration_s']}s, "
+                f"{ratio:.2f}x of {prior.get('rev')})"
+            )
+            slow = _wall_time_regressions(prior, payload)
+        break
     print()
     print(line)
     for nodeid, before, after in slow:

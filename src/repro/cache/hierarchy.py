@@ -95,7 +95,8 @@ class PrivateHierarchy:
         l1_set = self._l1_sets[block & self._l1_mask]
         l1_line = l1_set.get(block)
         if l1_line is not None:
-            l1_set.move_to_end(block)
+            del l1_set[block]
+            l1_set[block] = l1_line
             self.l1_hits += 1
             if is_write:
                 l1_line.dirty = True
@@ -104,7 +105,8 @@ class PrivateHierarchy:
         l2_set = self._l2_sets[block & self._l2_mask]
         l2_line = l2_set.get(block)
         if l2_line is not None:
-            l2_set.move_to_end(block)
+            del l2_set[block]
+            l2_set[block] = l2_line
             self.l2_hits += 1
             if is_write:
                 l2_line.dirty = True
@@ -112,7 +114,7 @@ class PrivateHierarchy:
             # absent (the L1 lookup above missed), the L1 has no observer,
             # and its victim is dropped silently under inclusion.
             if len(l1_set) >= self._l1_ways:
-                l1_set.popitem(last=False)
+                del l1_set[next(iter(l1_set))]
             l1_set[block] = CacheLine(block, vm_id, is_write)
             return self._l2_result
         self.misses += 1

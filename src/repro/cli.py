@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--warmup", type=int, default=6_000,
                          help="warm-up accesses per vCPU")
         cmd.add_argument("--seed", type=int, default=42)
+        cmd.add_argument("--kernel", default="auto",
+                         choices=("auto", "batched", "reference"),
+                         help="execution kernel: the chunked fast-path "
+                         "kernel (batched), the canonical per-access loop "
+                         "(reference), or auto (batched unless a sanitizer/"
+                         "tracer is attached). Bit-identical results either "
+                         "way; only speed differs")
         cmd.add_argument("--sanitize", action="store_true",
                          help="enable the runtime coherence sanitizer "
                          "(ground-truth residence shadow + snoop-filter "
@@ -219,6 +226,7 @@ def _config_from_args(args: argparse.Namespace):
         trace=args.trace,
         trace_format=args.trace_format,
         metrics_sample_every=args.metrics_every,
+        kernel=args.kernel,
     )
 
 
@@ -351,6 +359,33 @@ def cmd_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     return 0
 
 
+def _profiled_measure_rate(config, app) -> Optional[float]:
+    """Measured-phase us/access for ``config`` under cProfile.
+
+    Builds (or snapshot-restores) a fresh system, then times only the
+    measured phase with the profiler enabled — the same conditions the
+    main ``repro-sim profile`` report runs under, so the kernel
+    comparison rows are like-for-like.
+    """
+    import cProfile
+    import time
+
+    from repro.sim import SimTask
+    from repro.sim.runner import prepare_task
+
+    system, engine, clocks = prepare_task(SimTask(config, app))
+    profiler = cProfile.Profile()
+    start = time.perf_counter()  # repro-lint: disable=RPL004; real-time profiling
+    profiler.enable()
+    engine.measure(clocks)
+    profiler.disable()
+    elapsed = time.perf_counter() - start  # repro-lint: disable=RPL004; real-time profiling
+    accesses = system.stats.l1_accesses
+    if not accesses:
+        return None
+    return 1e6 * elapsed / accesses
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Run one simulation under cProfile; print the top-N hotspots.
 
@@ -427,6 +462,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
     else:
         print("  store: disabled (REPRO_STORE=off)")
+    if stats.l1_accesses:
+        # Reference-vs-batched comparison: one measured phase per kernel
+        # under identical profiled conditions. Results are bit-identical
+        # across kernels by construction, so the only difference worth a
+        # row is the per-access rate.
+        from dataclasses import replace
+
+        from repro.sim.mtstream import HAVE_NUMPY
+
+        rates = {}
+        for kernel in ("reference", "batched"):
+            variant = replace(config, kernel=kernel, trace=None, sanitize=False)
+            rates[kernel] = _profiled_measure_rate(variant, args.app)
+        reference_rate = rates["reference"]
+        batched_rate = rates["batched"]
+        print("  kernel comparison (measured phase, profiled):")
+        if reference_rate is not None:
+            print(f"    reference: {reference_rate:8.2f} us/access")
+        if batched_rate is not None:
+            suffix = ""
+            if reference_rate and batched_rate:
+                suffix = f"  ({reference_rate / batched_rate:.1f}x vs reference)"
+            fallback = "" if HAVE_NUMPY else "  [numpy absent: stepper fallback]"
+            print(f"    batched:   {batched_rate:8.2f} us/access{suffix}{fallback}")
     return 0
 
 

@@ -91,6 +91,14 @@ class SimConfig:
     trace: Optional[str] = None
     trace_format: str = "auto"
     metrics_sample_every: Optional[int] = None
+    # Execution kernel. "reference" is the engine's canonical per-access
+    # loop; "batched" is the chunked fast-path kernel (repro.sim.kernel),
+    # proven bit-identical by the golden corpus and the differential
+    # suites; "auto" picks batched except when an opt-in observer
+    # (sanitizer/tracer) is attached, and honours the REPRO_KERNEL
+    # environment override. Bit-identity means the choice never changes
+    # a result — only wall-clock time.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_cores != self.mesh_width * self.mesh_height:
@@ -124,6 +132,11 @@ class SimConfig:
             raise ValueError(
                 f"metrics_sample_every must be positive, got "
                 f"{self.metrics_sample_every}"
+            )
+        if self.kernel not in ("auto", "batched", "reference"):
+            raise ValueError(
+                f"kernel must be 'auto', 'batched' or 'reference', got "
+                f"{self.kernel!r}"
             )
 
     @property

@@ -96,6 +96,22 @@ class SimulationEngine:
         self._xlate_memo.setdefault(DOM0_VM_ID, {})
         self._xlate_memo.setdefault(HYPERVISOR_SPACE, {})
         self._memory.translation_change_hook = self._clear_xlate_memo
+        # Per-vCPU generation closures, built once: a vCPU's VM and
+        # stream index never change (only its core does), so neither the
+        # steppers nor the trace-replay adapters depend on phase state.
+        # Previously the adapter closures were rebuilt inside every
+        # _run_phase call; hoisting them here means both engines (and
+        # both phases) share the identical closure per vCPU.
+        self._steppers = []
+        for vcpu in self._vcpus:
+            workload = self._workloads[vcpu.vm_id]
+            stepper_for = getattr(workload, "stepper_for", None)
+            if stepper_for is not None:
+                self._steppers.append(stepper_for(vcpu.index))
+            else:
+                # Trace-replay (or other) workloads expose only the
+                # MemoryAccess API; adapt it to the stepper signature.
+                self._steppers.append(_step_adapter(workload, vcpu.index))
 
     def _clear_xlate_memo(self) -> None:
         for memo in self._xlate_memo.values():
@@ -233,25 +249,7 @@ class SimulationEngine:
         # change (only its core does), so resolve them once per phase. The
         # stepper closures keep all generator state in cells — the loop
         # calls them with no attribute traffic and no MemoryAccess object.
-        steppers = []
-        for v in vcpus:
-            workload = workloads[v.vm_id]
-            stepper_for = getattr(workload, "stepper_for", None)
-            if stepper_for is not None:
-                steppers.append(stepper_for(v.index))
-            else:
-                # Trace-replay (or other) workloads expose only the
-                # MemoryAccess API; adapt it to the stepper signature.
-                def step(w=workload, i=v.index):
-                    access = w.next_access(i)
-                    return (
-                        access.initiator,
-                        access.guest_page,
-                        access.block_index,
-                        access.is_write,
-                    )
-
-                steppers.append(step)
+        steppers = self._steppers
         vm_ids = [v.vm_id for v in vcpus]
         vm_memos = [self._xlate_memo[v.vm_id] for v in vcpus]
         # Core placements change only on migration; refreshed below when
@@ -310,7 +308,8 @@ class SimulationEngine:
             l1_set = hierarchy._l1_sets[block & hierarchy._l1_mask]
             l1_line = l1_set.get(block)
             if l1_line is not None:
-                l1_set.move_to_end(block)
+                del l1_set[block]
+                l1_set[block] = l1_line
                 hierarchy.l1_hits += 1
                 latency = hierarchy.l1_latency
                 if is_write:
@@ -333,13 +332,14 @@ class SimulationEngine:
                 l2_set = hierarchy._l2_sets[block & hierarchy._l2_mask]
                 l2_line = l2_set.get(block)
                 if l2_line is not None:
-                    l2_set.move_to_end(block)
+                    del l2_set[block]
+                    l2_set[block] = l2_line
                     hierarchy.l2_hits += 1
                     if is_write:
                         l2_line.dirty = True
                     # Promote into the L1 (inclusion; L1 has no observer).
                     if len(l1_set) >= hierarchy._l1_ways:
-                        l1_set.popitem(last=False)
+                        del l1_set[next(iter(l1_set))]
                     l1_set[block] = CacheLine(block, vm_tag, is_write)
                     latency = hierarchy.l1_latency + hierarchy.l2_latency
                     if is_write:
@@ -453,7 +453,7 @@ class SimulationEngine:
             observer = hierarchy._l2_observer
             victim = None
             if len(l2_set) >= hierarchy._l2_ways:
-                _, victim = l2_set.popitem(last=False)
+                victim = l2_set.pop(next(iter(l2_set)))
                 if observer is not None:
                     observer.on_evict(victim)
             line = CacheLine(block, vm_tag, dirty)
@@ -468,7 +468,7 @@ class SimulationEngine:
                 )
             l1_set = hierarchy._l1_sets[block & hierarchy._l1_mask]
             if len(l1_set) >= hierarchy._l1_ways:
-                l1_set.popitem(last=False)
+                del l1_set[next(iter(l1_set))]
             l1_set[block] = CacheLine(block, vm_tag, dirty)
             if victim is not None:
                 self._handle_eviction(core, victim, cycle=self.now)
@@ -520,7 +520,29 @@ class SimulationEngine:
             self._tracer.close(self.now)
 
 
+def _step_adapter(workload, index: int):
+    """Adapt a ``next_access``-only workload to the stepper signature."""
+    next_access = workload.next_access
+
+    def step():
+        access = next_access(index)
+        return (
+            access.initiator,
+            access.guest_page,
+            access.block_index,
+            access.is_write,
+        )
+
+    return step
+
+
 def run_simulation(system: SimulatedSystem) -> "SimulatedSystem":
-    """Convenience: run ``system`` to completion and return it."""
-    SimulationEngine(system).run()
+    """Convenience: run ``system`` to completion and return it.
+
+    Honours ``config.kernel`` — the import is deferred because
+    :mod:`repro.sim.kernel` subclasses this module's engine.
+    """
+    from repro.sim.kernel import engine_for
+
+    engine_for(system).run()
     return system

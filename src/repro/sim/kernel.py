@@ -1,0 +1,1019 @@
+"""The batched fast-path simulation kernel.
+
+:class:`BatchedEngine` replays the *exact* sequential semantics of
+:meth:`repro.sim.engine.SimulationEngine._run_phase` — same heap order,
+same RNG draw order, same mutation order, same counters — while removing
+nearly every Python function call from the fast path (the L1/L2 hits
+that dominate the access mix, per the paper's Figure 1 premise). It is
+bit-identical to the reference loop *by construction*, and the golden
+corpus, the snapshot differential suite and the kernel differential
+tests prove it byte-for-byte.
+
+Three generation paths, chosen per VM at phase start:
+
+``word``   (:class:`~repro.sim.mtstream.WordStream`, NumPy present)
+    The VM's ``random.Random`` is forked into a bulk MT19937 word
+    stream. Each refill fetches a block of raw words and *fully
+    resolves* every access that could start at each word offset
+    (:func:`_encode`): category, write flag (including the per-category
+    override draws), the accepted hot-pool value of the rejection-
+    sampling chain, and the total word count the access consumes — one
+    small packed int per offset. The access loop then does no draw
+    arithmetic at all: read the lane, dispatch on the category, advance
+    the pointer by the precomputed skip. The float reconstruction
+    ``((a >> 5) * 2**26 + (b >> 6)) / 2**53`` is exact in float64 (no
+    rounding at any step), and the category is a sum of the same IEEE
+    compares ``bisect_right`` performs, so every resolved value agrees
+    with CPython bit-for-bit.
+
+``chunk``  (workloads advertising ``stream_chunk`` + independence)
+    Trace-replay (and other pre-recorded) workloads materialise runs of
+    accesses in bulk. The refill size is clamped to the vCPU's remaining
+    phase budget so positions land exactly where the reference loop
+    leaves them.
+
+``step``   (fallback)
+    The reference per-access stepper closures. This is the pure-Python
+    path: still batched control flow, same micro-optimised loop body,
+    just per-access generation. Used when NumPy is absent, when a pool
+    is too large for the packed encoding, or for foreign workloads.
+
+Every coherence-visible event — a miss, a non-silent store, an eviction,
+COW, a migration window, a metrics sample — *bails out* to the same
+reference machinery (``self._transact``, ``self._maybe_migrate``,
+``metrics.sample``), so the sanitizer, the tracer and every observer see
+an unchanged event stream.
+
+Stats-ordering invariant: the loop updates every counter in exactly the
+order the reference loop does; the only rewrites are call-free
+spellings of identical operations (``in`` + subscript for ``dict.get``,
+``del d[k]; d[k] = v`` for the LRU touch, ``state.sharers == {core}``
+for the len/in pair, hoisted geometry constants and per-core set lists,
+the phase budget carried inside the heap tuples, and
+``heapreplace``/local-min scheduling that provably pops the same
+(time, seq) sequence as push-then-pop).
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heapreplace
+from typing import List, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.core.residence import UNTRACKED_VM
+from repro.hypervisor.vm import DOM0_VM_ID
+from repro.mem.pagetype import PageType
+from repro.sim.engine import SimulationEngine
+from repro.sim.mtstream import HAVE_NUMPY, WordStream
+from repro.sim.system import HYPERVISOR_SPACE, SimulatedSystem
+from repro.workloads import generator
+from repro.workloads.generator import VmWorkload
+from repro.workloads.trace import Initiator
+
+if HAVE_NUMPY:  # pragma: no branch
+    import numpy as _np
+
+# The packed encoding and the inlined cursor walks bake the 64-block
+# page geometry in as literals; refuse to import against a drifted
+# generator rather than silently diverge.
+assert generator.BLOCKS_PER_PAGE == 64
+
+# Environment override for SimConfig.kernel == "auto" (CI differential
+# jobs force a kernel across a whole suite without touching configs).
+_KERNEL_ENV = "REPRO_KERNEL"
+
+# When set, every batched phase ends with a structural validation of
+# all caches through the packed mirror (SetAssociativeCache.packed).
+_VALIDATE_ENV = "REPRO_KERNEL_VALIDATE"
+
+# Words fetched per WordStream refill. Each access consumes 4-8 words,
+# so the default amortises one numpy encode + tolist over ~3k accesses.
+# Overridable for tests that want refills landing on interesting edges.
+_BLOCK_WORDS_ENV = "REPRO_KERNEL_BLOCK"
+_DEFAULT_BLOCK_WORDS = 16384
+_MIN_BLOCK_WORDS = 32
+
+# Accesses per stream_chunk refill on the chunk path.
+_CHUNK_ACCESSES = 256
+
+# Packed-lane field widths of _encode (see layout there). Hot-pool draws
+# are ``word >> (32 - bits)`` and pool sizes are coverage-capped, so 16
+# bits per pool is generous; VMs exceeding it fall back to the stepper
+# path. The skip field caps the word count one lane can carry; longer
+# rejection chains (p ~ 2**-500) resolve through the scalar slow path.
+_FIELD_BITS = 16
+_SKIP_BITS = 9
+_SKIP_MASK = (1 << _SKIP_BITS) - 1
+_RES_SHIFT = 4 + _SKIP_BITS
+
+_INV_2_53 = 1.0 / 9007199254740992.0  # 2**-53, as CPython's random()
+
+# _pool goes dense (full-width scan) when at least one lane in this many
+# is hot. The cutover is deliberately late: the dense scan is a few
+# fixed O(m) passes while the walker pays per-round call overhead, so
+# the walker only wins when a category is present but genuinely rare.
+_DENSE_CUTOVER = 64
+
+# Hypervisor/dom0 write fraction (a literal in the generator's stepper).
+_HYP_WRITE_FRACTION = 0.2
+
+
+def engine_for(system: SimulatedSystem) -> SimulationEngine:
+    """The engine selected by ``config.kernel`` (and ``REPRO_KERNEL``).
+
+    ``reference``/``batched`` are explicit and always honoured — forcing
+    ``batched`` with the sanitizer or tracer attached is supported (the
+    bail-out seams feed them the identical event stream) and is how the
+    differential CI jobs prove it. ``auto`` resolves via the
+    ``REPRO_KERNEL`` environment override if set, otherwise picks the
+    batched kernel except when an observer (sanitizer/tracer) is
+    attached — the conservative default keeps opt-in diagnostics on the
+    reference loop they were written against.
+    """
+    kind = getattr(system.config, "kernel", "auto")
+    if kind == "auto":
+        kind = os.environ.get(_KERNEL_ENV) or "auto"
+    if kind == "reference":
+        return SimulationEngine(system)
+    if kind == "batched":
+        return BatchedEngine(system)
+    if system.sanitizer is not None or system.tracer is not None:
+        return SimulationEngine(system)
+    return BatchedEngine(system)
+
+
+def stream_chunk_shim(workload, vcpu_index: int, count: int) -> List[tuple]:
+    """``stream_chunk`` for workloads that only expose ``next_access``.
+
+    Materialises one access at a time through the workload's own
+    ``next_access``, so arbitrary (possibly cross-vCPU-coupled)
+    generators stay exact — there is no lookahead to reorder their
+    internal draws beyond the ``count`` the caller batches.
+    """
+    out = []
+    next_access = workload.next_access
+    for _ in range(count):
+        try:
+            access = next_access(vcpu_index)
+        except StopIteration:
+            break
+        out.append(
+            (access.initiator, access.guest_page, access.block_index, access.is_write)
+        )
+    return out
+
+
+def _block_words() -> int:
+    raw = os.environ.get(_BLOCK_WORDS_ENV)
+    if not raw:
+        return _DEFAULT_BLOCK_WORDS
+    return max(_MIN_BLOCK_WORDS, int(raw))
+
+
+def _shifted(array, k: int, fill, m: int, dtype):
+    """``array`` advanced by ``k`` offsets, padded with ``fill``."""
+    out = _np.empty(m, dtype=dtype)
+    keep = m - k if m > k else 0
+    out[:keep] = array[k:]
+    out[keep:] = fill
+    return out
+
+
+def _pool(first, idx, hot, m: int, bits: int, pool: int, scratch=None):
+    """Resolve one hot pool's rejection sampling for the lanes in ``hot``.
+
+    ``getrandbits(bits)`` is ``word >> (32 - bits)``; the stepper redraws
+    while the value is >= the pool size. ``hot`` holds the *access
+    start* offsets ``i`` (chains start at ``i + 4``). Returns
+    ``(accept, resolved)`` aligned to ``hot``: the accepting word
+    offset (``m`` when the chain runs off the buffer — the caller's
+    skip bound then marks the lane invalid) and the accepted value
+    (0 on off-buffer lanes).
+
+    Two strategies, chosen by hot-lane density:
+
+    * Dense (>= 1 lane in 6): full-width scan. A chain starting at
+      ``j`` accepts at the first offset >= ``j`` whose draw lands
+      inside the pool, so a reverse running minimum over the accepting
+      positions resolves every chain in a handful of O(m) passes.
+    * Sparse: the stepper's redraw loop run over all chains at once —
+      each round draws at every unresolved chain's offset, retires the
+      accepting ones, advances the rest one word. ``bits`` is the pool
+      size's bit length, so each round accepts with probability > 1/2
+      and the active set dies off geometrically. Work scales with
+      ``hot.size``, not ``m``, but each round costs fixed call
+      overhead — hence the density cutover.
+    """
+    shift = _np.uint64(32 - bits)
+    limit = _np.uint64(pool)
+    if hot.size * _DENSE_CUTOVER >= m:
+        if scratch is not None:
+            draws = scratch["u64"]
+            _np.right_shift(first, shift, out=draws)
+            rejected = scratch["bool"]
+            _np.greater_equal(draws, limit, out=rejected)
+            candidate = scratch["i32d"]
+            _np.multiply(rejected, m, out=candidate)
+            candidate += idx
+        else:
+            draws = first >> shift
+            rejected = draws >= limit
+            candidate = idx + rejected.astype(_np.int32) * m
+        # In-place reverse running minimum: first accepting offset >= j.
+        reverse = candidate[::-1]
+        _np.minimum.accumulate(reverse, out=reverse)
+        start = hot + 4
+        accept = candidate.take(_np.minimum(start, m - 1))
+        accept[start >= m] = m
+        resolved = draws.take(_np.minimum(accept, m - 1)).astype(_np.int32)
+        return accept, resolved
+    accept = _np.full(hot.shape, m, dtype=_np.int32)
+    resolved = _np.zeros(hot.shape, dtype=_np.int32)
+    active = _np.arange(hot.size, dtype=_np.int32)
+    position = hot + 4
+    while position.size:
+        inside = position < m
+        if not inside.all():
+            active = active[inside]
+            position = position[inside]
+            if not position.size:
+                break
+        draws = first.take(position) >> shift
+        accepted = draws < limit
+        if accepted.any():
+            retired = active[accepted]
+            accept[retired] = position[accepted]
+            resolved[retired] = draws[accepted].astype(_np.int32)
+            rejected = ~accepted
+            active = active[rejected]
+            position = position[rejected]
+        position += 1
+    return accept, resolved
+
+
+def _encode(words, enc) -> list:
+    """Fully-resolved access lanes: one packed int per word offset.
+
+    ``words`` is a uint64 ndarray of raw MT19937 output words. Lane
+    ``i`` describes the complete access that would *start* at word
+    ``i`` (category draw at ``i``/``i+1``, base write draw at
+    ``i+2``/``i+3``, category-specific draws after):
+
+    =====  ========================================================
+    bits   meaning
+    =====  ========================================================
+    0-2    category: ``bisect_right(cumulative, random()*cum_total)``
+           clamped to ``_PRIVATE_HOT`` — computed as the sum of the
+           same eight IEEE ``>=`` compares the bisection performs
+    3      the access's *final* write flag: the base
+           ``random() < write_fraction`` draw, overridden by the
+           category's own fraction draw where the stepper overrides
+    4-12   total words the access consumes (4 or 6 for the walker
+           categories; ``chain + 5`` or ``chain + 7`` for the hot
+           ones). 0 is the saturation sentinel: the chain outgrew
+           the field, resolve through :meth:`_VmStream.slow`
+    13-28  the accepted hot-pool draw of this lane's category
+    =====  ========================================================
+
+    A lane whose access would read past the end of the buffer is ``-1``
+    (invalid): the consumer refills, which re-bases the access to
+    offset 0 of a longer buffer. Every float op matches CPython
+    exactly: ``(a*2**26 + b)`` with ``a < 2**27, b < 2**26`` is exact
+    at each step in both uint64 and float64, and all threshold/category
+    compares are the same IEEE operations the scalar code performs.
+    """
+    m = len(words) - 1
+    if m <= 0:
+        return [-1]
+    scratch = enc.scratch(m)
+    first = words[:m]
+    # value[i] = random() drawn at words i/i+1, built in uint64 (exact:
+    # (a*2**26 + b) < 2**53) and converted once.
+    acc = scratch["u64"]
+    _np.right_shift(first, 5, out=acc)
+    acc *= 67108864
+    low = scratch["u64b"]
+    _np.right_shift(words[1:], 6, out=low)
+    acc += low
+    value = scratch["f64"]
+    _np.multiply(acc, _INV_2_53, out=value)
+    scaled = scratch["f64b"]
+    _np.multiply(value, enc.cum_total, out=scaled)
+    thresholds = enc.cum_list
+    # bisect_right(c, x) counts entries <= x; x >= c is the exact IEEE
+    # complement of x < c (no NaNs here), so the sum reproduces it.
+    flag = scratch["bool"]
+    category = scratch["u8"]
+    _np.greater_equal(scaled, thresholds[0], out=flag)
+    category[:] = flag
+    for threshold in thresholds[1:]:
+        _np.greater_equal(scaled, threshold, out=flag)
+        category += flag
+    _np.minimum(category, 7, out=category)
+    idx = enc.idx(m)
+    _np.less(value, enc.write_fraction, out=flag)
+    is_write = _shifted(flag, 2, False, m, _np.bool_)
+    skip = scratch["i32"]
+    skip.fill(6)
+    if enc.private_walk:
+        _np.equal(category, 6, out=flag)
+        skip -= flag
+        skip -= flag
+    resolved = scratch["i32b"]
+    resolved.fill(0)
+    # Private-hot lanes are resolved whenever present — not gated on the
+    # profile's probability, because the bisection clamp can land on
+    # category 7 even at zero probability (float rounding can make
+    # value*cum_total == cum_total), exactly as the stepper's can.
+    _np.equal(category, 7, out=flag)
+    hot = flag.nonzero()[0].astype(_np.int32)
+    if hot.size:
+        accept_p, resolved_p = _pool(
+            first, idx, hot, m, enc.private_bits, enc.private_pool, scratch
+        )
+        skip[hot] += accept_p - hot - 5
+        resolved[hot] = resolved_p
+    if enc.shared_walk or enc.shared_hot:
+        shared_flag = scratch["boolb"]
+        _np.less(value, enc.shared_write_fraction, out=shared_flag)
+        if enc.shared_walk:
+            override = _shifted(shared_flag, 4, False, m, _np.bool_)
+            mask = category == 4
+            is_write = is_write ^ (mask & (override ^ is_write))
+        if enc.shared_hot:
+            _np.equal(category, 5, out=flag)
+            hot = flag.nonzero()[0].astype(_np.int32)
+            if hot.size:
+                accept_s, resolved_s = _pool(
+                    first, idx, hot, m, enc.shared_bits, enc.shared_pool, scratch
+                )
+                skip[hot] += accept_s - hot - 3
+                resolved[hot] = resolved_s
+                is_write[hot] = shared_flag.take(
+                    _np.minimum(accept_s + 1, m - 1)
+                )
+    if enc.content_walk or enc.content_hot:
+        content_flag = scratch["boolb"]
+        _np.less(value, enc.content_write_fraction, out=content_flag)
+        if enc.content_walk:
+            override = _shifted(content_flag, 4, False, m, _np.bool_)
+            mask = category == 0
+            is_write = is_write ^ (mask & (override ^ is_write))
+        if enc.content_hot:
+            _np.equal(category, 1, out=flag)
+            hot = flag.nonzero()[0].astype(_np.int32)
+            if hot.size:
+                accept_c, resolved_c = _pool(
+                    first, idx, hot, m, enc.content_bits, enc.content_pool, scratch
+                )
+                skip[hot] += accept_c - hot - 3
+                resolved[hot] = resolved_c
+                is_write[hot] = content_flag.take(
+                    _np.minimum(accept_c + 1, m - 1)
+                )
+    if enc.hyp_dom0:
+        hyp_flag = scratch["boolb"]
+        _np.less(value, _HYP_WRITE_FRACTION, out=hyp_flag)
+        override = _shifted(hyp_flag, 4, False, m, _np.bool_)
+        mask = (category == 2) | (category == 3)
+        is_write = is_write ^ (mask & (override ^ is_write))
+    # Invalidity / saturation (order matters: the bound uses true skips).
+    work = scratch["i32d"]
+    _np.add(idx, skip, out=work)
+    bad = scratch["boolb"]
+    _np.greater_equal(work, m, out=bad)
+    _np.greater(skip, _SKIP_MASK, out=flag)
+    skip[flag] = 0
+    lanes = scratch["i32c"]
+    lanes[:] = category
+    _np.copyto(work, is_write)
+    work <<= 3
+    lanes += work
+    skip <<= 4
+    lanes += skip
+    resolved <<= _RES_SHIFT
+    lanes += resolved
+    lanes[bad] = -1
+    return lanes.tolist()
+
+
+class _VmStream:
+    """Per-VM word-path state: the stream, its buffer, and the encode
+    parameters. One instance serves one VM for one phase."""
+
+    __slots__ = (
+        "stream",
+        "words",
+        "encoded",
+        "pointer",
+        "consumed",
+        "block_words",
+        "cum_list",
+        "cum_total",
+        "write_fraction",
+        "shared_write_fraction",
+        "content_write_fraction",
+        "private_bits",
+        "private_pool",
+        "shared_bits",
+        "shared_pool",
+        "content_bits",
+        "content_pool",
+        "private_walk",
+        "shared_walk",
+        "shared_hot",
+        "content_walk",
+        "content_hot",
+        "hyp_dom0",
+        "_idx_full",
+        "_scratch_full",
+    )
+
+    def __init__(self, workload: VmWorkload, block_words: int) -> None:
+        self.stream = WordStream(workload._rng)
+        cumulative = list(workload._cumulative)
+        self.cum_list = cumulative
+        self.cum_total = workload._cum_total
+        self.write_fraction = workload._write_fraction
+        self.shared_write_fraction = workload.shared_write_fraction
+        self.content_write_fraction = workload._content_write_fraction
+        self.private_bits = workload._private_hot_bits
+        self.private_pool = workload.private_hot_blocks
+        self.shared_bits = workload._shared_hot_bits
+        self.shared_pool = workload.shared_hot_blocks
+        self.content_bits = workload._content_hot_bits
+        self.content_pool = workload.content_hot_blocks
+        # Category presence: skip the encode passes of categories the
+        # cumulative table cannot select (empty probability intervals).
+        present = [
+            cumulative[c] > (cumulative[c - 1] if c else 0.0) for c in range(8)
+        ]
+        self.content_walk = present[0]
+        self.content_hot = present[1]
+        self.hyp_dom0 = present[2] or present[3]
+        self.shared_walk = present[4]
+        self.shared_hot = present[5]
+        self.private_walk = present[6]
+        self.block_words = block_words
+        self.words = _np.empty(0, dtype=_np.uint64)
+        self.encoded: list = [-1]  # forces a refill at the first access
+        self.pointer = 0
+        self.consumed = 0
+        self._idx_full = None
+        self._scratch_full = None
+
+    def idx(self, m: int):
+        """0..m-1 as int32: a prefix view of one capacity-sized arange.
+
+        Buffer lengths vary slightly per refill (the unconsumed tail is
+        carried over), so caching per exact length would accumulate an
+        array per refill; a single over-allocated arange serves every
+        length as a view.
+        """
+        cached = self._idx_full
+        if cached is None or len(cached) < m:
+            cached = self._idx_full = _np.arange(
+                max(m, self.block_words + 2048), dtype=_np.int32
+            )
+        return cached[:m]
+
+    def scratch(self, m: int) -> dict:
+        """Reusable length-``m`` work buffers for :func:`_encode`.
+
+        One capacity-sized allocation per dtype slot, sliced to ``m`` on
+        each call: the encode passes all write through ``out=`` into
+        these, which keeps the ~10 full-width temporaries an encode
+        would otherwise allocate (and their page-faulting churn) off
+        the refill path entirely.
+        """
+        full = self._scratch_full
+        if full is None or len(full["u64"]) < m:
+            cap = max(m, self.block_words + 2048)
+            full = self._scratch_full = {
+                "u64": _np.empty(cap, dtype=_np.uint64),
+                "u64b": _np.empty(cap, dtype=_np.uint64),
+                "f64": _np.empty(cap, dtype=_np.float64),
+                "f64b": _np.empty(cap, dtype=_np.float64),
+                "u8": _np.empty(cap, dtype=_np.uint8),
+                "i32": _np.empty(cap, dtype=_np.int32),
+                "i32b": _np.empty(cap, dtype=_np.int32),
+                "i32c": _np.empty(cap, dtype=_np.int32),
+                "i32d": _np.empty(cap, dtype=_np.int32),
+                "bool": _np.empty(cap, dtype=_np.bool_),
+                "boolb": _np.empty(cap, dtype=_np.bool_),
+            }
+        return {name: buf[:m] for name, buf in full.items()}
+
+    def refill(self, pointer: int) -> int:
+        """Bank ``pointer`` consumed words, fetch a fresh block, rebuild
+        the packed lanes; returns the new pointer (0)."""
+        self.consumed += pointer
+        tail = self.words[pointer:]
+        fresh = self.stream.raw(self.block_words)
+        self.words = _np.concatenate((tail, fresh)) if len(tail) else fresh
+        self.encoded = _encode(self.words, self)
+        return 0
+
+    def slow(
+        self,
+        pointer: int,
+        bits: int,
+        pool: int,
+        override_fraction: Optional[float],
+    ) -> Tuple[int, bool, int]:
+        """Scalar resolution of a hot draw the packed lane cannot carry
+        (a rejection chain longer than the skip field).
+
+        Walks the raw words exactly as the stepper's rejection loop
+        does, refilling — which re-bases the access to offset 0 of a
+        longer buffer — whenever the chain outruns it. Returns
+        ``(draw, is_write_override, new_pointer)``; the override bool is
+        meaningful only when ``override_fraction`` is given (the base
+        write flag in the lane stays valid otherwise). The caller must
+        reload ``encoded`` afterwards.
+        """
+        shift = 32 - bits
+        while True:
+            words = self.words
+            n = len(words)
+            j = pointer + 4
+            accepted = -1
+            while j < n:
+                draw = int(words[j]) >> shift
+                j += 1
+                if draw < pool:
+                    accepted = draw
+                    break
+            if accepted >= 0:
+                if override_fraction is None:
+                    return accepted, False, j
+                if j + 1 < n:
+                    value = (
+                        (int(words[j]) >> 5) * 67108864.0
+                        + (int(words[j + 1]) >> 6)
+                    ) * _INV_2_53
+                    return accepted, value < override_fraction, j + 2
+            pointer = self.refill(pointer)
+
+    def finish(self, pointer: int) -> None:
+        """Phase over: write the source RNG to the consumed position."""
+        self.stream.sync_back(self.consumed + pointer)
+
+
+def _word_eligible(workload) -> bool:
+    """Whether a workload can run on the packed word path."""
+    if not HAVE_NUMPY or not isinstance(workload, VmWorkload):
+        return False
+    return max(
+        workload._private_hot_bits,
+        workload._shared_hot_bits,
+        workload._content_hot_bits,
+    ) <= _FIELD_BITS
+
+
+class BatchedEngine(SimulationEngine):
+    """Drop-in engine with the batched `_run_phase` (see module docs)."""
+
+    def _run_phase(
+        self, clocks: List[int], budget: int, migrate: bool
+    ) -> List[int]:
+        # Heap tuples carry the vCPU's remaining budget as a fourth
+        # field — never compared ((time, seq) is already unique) and one
+        # list-indexing pair cheaper per access than a side array.
+        heap: List[Tuple[int, int, int, int]] = [
+            (local_time, index, index, budget)
+            for index, local_time in enumerate(clocks)
+        ]
+        # list-of-tuples heapify orders identically to the reference
+        # loop's repeated heappush (same comparison key, same final pop
+        # sequence; entries are unique so layout differences are moot).
+        heapify(heap)
+        final = list(clocks)
+        vcpus = self._vcpus
+        sequence = len(vcpus)
+        think = self.config.think_cycles
+        migrate = migrate and self._next_migration is not None
+        infinity = float("inf")
+        next_migration = self._next_migration if migrate else infinity
+        metrics = self._metrics
+        next_sample = self._next_sample
+        # One boundary compare per access covers both the metrics window
+        # and the migration window (each is checked in reference order
+        # inside the rare branch).
+        boundary = next_sample if next_sample < next_migration else next_migration
+        caches = self._caches
+        mem_translate = self._mem_translate
+        transact = self._transact
+        guest_initiator = Initiator.GUEST
+        hyp_initiator = Initiator.HYPERVISOR
+        dom0_initiator = Initiator.DOM0
+        untracked = UNTRACKED_VM
+        ro_shared = PageType.RO_SHARED
+        write_to_page = self._write_to_page
+        page_shift = self._page_shift
+        rw_shared_translate = self._rw_shared_translate
+        reg_blocks = self.system.registry._blocks
+        workloads = self._workloads
+        steppers = self._steppers
+        vm_ids = [v.vm_id for v in vcpus]
+        vm_memos = [self._xlate_memo[v.vm_id] for v in vcpus]
+        hyp_memo = self._xlate_memo[HYPERVISOR_SPACE]
+        dom0_memo = self._xlate_memo[DOM0_VM_ID]
+        cores = [v.core for v in vcpus]
+        stats = self.stats
+        l1_by_page_type = stats.l1_accesses_by_page_type
+        # Geometry is uniform across the private hierarchies (one config
+        # builds them all), so masks/ways/latencies hoist to ints, and
+        # the per-core hierarchies and their set lists hoist to lists.
+        hierarchies = [caches[core] for core in range(len(caches))]
+        l1_sets_by_core = [h._l1_sets for h in hierarchies]
+        l2_sets_by_core = [h._l2_sets for h in hierarchies]
+        any_hierarchy = hierarchies[0]
+        l1_mask = any_hierarchy._l1_mask
+        l2_mask = any_hierarchy._l2_mask
+        l1_ways = any_hierarchy._l1_ways
+        l1_latency = any_hierarchy.l1_latency
+        l12_latency = l1_latency + any_hierarchy.l2_latency
+        private_vcpu_base = generator.PRIVATE_BASE
+        private_vcpu_stride = generator.PRIVATE_VCPU_STRIDE
+        shared_hot_base = generator.SHARED_HOT_BASE
+        content_hot_base = generator.CONTENT_HOT_BASE
+
+        # --- generation-path selection (per VM / per vCPU) -----------
+        block_words = _block_words()
+        vm_streams: dict = {}  # vm_id -> _VmStream (word path)
+        for vm_id, workload in workloads.items():
+            if _word_eligible(workload):
+                vm_streams[vm_id] = _VmStream(workload, block_words)
+        # slot[index]: the vCPU's _VmStream, or None (chunk/step path).
+        slots = [vm_streams.get(vm_id) for vm_id in vm_ids]
+        # Private-pool bases and cursors, per heap index (word path).
+        private_bases = []
+        private_cursors = []
+        shared_cursors = []
+        content_cursors = []
+        hyp_cursors = []
+        dom0_cursors = []
+        for position, v in enumerate(vcpus):
+            workload = workloads.get(v.vm_id)
+            if slots[position] is not None:
+                private_bases.append(
+                    private_vcpu_base + v.index * private_vcpu_stride
+                )
+                private_cursors.append(workload._private_streams[v.index])
+                shared_cursors.append(workload._shared_stream)
+                content_cursors.append(workload._content_stream)
+                hyp_cursors.append(workload._hyp_stream)
+                dom0_cursors.append(workload._dom0_stream)
+            else:
+                private_bases.append(0)
+                private_cursors.append(None)
+                shared_cursors.append(None)
+                content_cursors.append(None)
+                hyp_cursors.append(None)
+                dom0_cursors.append(None)
+        # Chunk path: workloads that materialise runs exactly.
+        chunk_workloads = []
+        chunk_buffers = []
+        chunk_positions = []
+        for position, v in enumerate(vcpus):
+            workload = workloads.get(v.vm_id)
+            use_chunk = (
+                slots[position] is None
+                and workload is not None
+                and getattr(workload, "stream_chunk_independent", False)
+                and hasattr(workload, "stream_chunk")
+            )
+            chunk_workloads.append(workload if use_chunk else None)
+            chunk_buffers.append([] if use_chunk else None)
+            chunk_positions.append(0)
+        vcpu_indices = [v.index for v in vcpus]
+
+        local_time = self.now
+        try:
+            if heap:
+                item = heappop(heap)
+            else:
+                item = None
+            while item is not None:
+                local_time, _, index, count = item
+                if local_time >= boundary:
+                    if local_time >= next_sample:
+                        self.now = local_time
+                        next_sample = metrics.sample(local_time)
+                    if migrate and local_time >= next_migration:
+                        self.now = local_time
+                        self._maybe_migrate()
+                        next_migration = self._next_migration
+                        cores = [v.core for v in vcpus]
+                    boundary = (
+                        next_sample
+                        if next_sample < next_migration
+                        else next_migration
+                    )
+                # ---- generation --------------------------------------
+                vm_stream = slots[index]
+                if vm_stream is not None:
+                    pointer = vm_stream.pointer
+                    encoded = vm_stream.encoded
+                    word = encoded[pointer]
+                    if word < 0:
+                        # Lane cut by the buffer edge: refill re-bases
+                        # the access to offset 0 of a longer buffer (and
+                        # keeps growing it for pathological chains).
+                        while True:
+                            pointer = vm_stream.refill(pointer)
+                            encoded = vm_stream.encoded
+                            word = encoded[0]
+                            if word >= 0:
+                                break
+                    category = word & 7
+                    initiator = guest_initiator
+                    if category == 7:  # private hot
+                        skip = (word >> 4) & 511
+                        if skip:
+                            draw = word >> 13
+                            vm_stream.pointer = pointer + skip
+                        else:  # saturated lane: scalar chain walk
+                            draw, _over, new_pointer = vm_stream.slow(
+                                pointer,
+                                vm_stream.private_bits,
+                                vm_stream.private_pool,
+                                None,
+                            )
+                            vm_stream.pointer = new_pointer
+                        is_write = (word & 8) != 0
+                        guest_page = private_bases[index] + (draw >> 6)
+                        block_index = draw & 63
+                    elif category == 6:  # private stream
+                        is_write = (word & 8) != 0
+                        vm_stream.pointer = pointer + 4
+                        cursor = private_cursors[index]
+                        guest_page = cursor.base + cursor.page
+                        block_index = cursor.block
+                        nxt = block_index + 1
+                        if nxt == 64:
+                            cursor.block = 0
+                            cursor.page = (cursor.page + 1) % cursor.pages
+                        else:
+                            cursor.block = nxt
+                    elif category == 5:  # shared hot
+                        skip = (word >> 4) & 511
+                        if skip:
+                            draw = word >> 13
+                            is_write = (word & 8) != 0
+                            vm_stream.pointer = pointer + skip
+                        else:
+                            draw, is_write, new_pointer = vm_stream.slow(
+                                pointer,
+                                vm_stream.shared_bits,
+                                vm_stream.shared_pool,
+                                vm_stream.shared_write_fraction,
+                            )
+                            vm_stream.pointer = new_pointer
+                        guest_page = shared_hot_base + (draw >> 6)
+                        block_index = draw & 63
+                    elif category == 4:  # shared stream
+                        is_write = (word & 8) != 0
+                        vm_stream.pointer = pointer + 6
+                        cursor = shared_cursors[index]
+                        guest_page = cursor.base + cursor.page
+                        block_index = cursor.block
+                        nxt = block_index + 1
+                        if nxt == 64:
+                            cursor.block = 0
+                            cursor.page = (cursor.page + 1) % cursor.pages
+                        else:
+                            cursor.block = nxt
+                    elif category == 0:  # content stream
+                        is_write = (word & 8) != 0
+                        vm_stream.pointer = pointer + 6
+                        cursor = content_cursors[index]
+                        guest_page = cursor.base + cursor.page
+                        block_index = cursor.block
+                        nxt = block_index + 1
+                        if nxt == 64:
+                            cursor.block = 0
+                            cursor.page = (cursor.page + 1) % cursor.pages
+                        else:
+                            cursor.block = nxt
+                    elif category == 1:  # content hot
+                        skip = (word >> 4) & 511
+                        if skip:
+                            draw = word >> 13
+                            is_write = (word & 8) != 0
+                            vm_stream.pointer = pointer + skip
+                        else:
+                            draw, is_write, new_pointer = vm_stream.slow(
+                                pointer,
+                                vm_stream.content_bits,
+                                vm_stream.content_pool,
+                                vm_stream.content_write_fraction,
+                            )
+                            vm_stream.pointer = new_pointer
+                        guest_page = content_hot_base + (draw >> 6)
+                        block_index = draw & 63
+                    elif category == 2:  # hypervisor
+                        is_write = (word & 8) != 0
+                        vm_stream.pointer = pointer + 6
+                        cursor = hyp_cursors[index]
+                        guest_page = cursor.base + cursor.page
+                        block_index = cursor.block
+                        nxt = block_index + 1
+                        if nxt == 64:
+                            cursor.block = 0
+                            cursor.page = (cursor.page + 1) % cursor.pages
+                        else:
+                            cursor.block = nxt
+                        initiator = hyp_initiator
+                    else:  # dom0
+                        is_write = (word & 8) != 0
+                        vm_stream.pointer = pointer + 6
+                        cursor = dom0_cursors[index]
+                        guest_page = cursor.base + cursor.page
+                        block_index = cursor.block
+                        nxt = block_index + 1
+                        if nxt == 64:
+                            cursor.block = 0
+                            cursor.page = (cursor.page + 1) % cursor.pages
+                        else:
+                            cursor.block = nxt
+                        initiator = dom0_initiator
+                else:
+                    buffer = chunk_buffers[index]
+                    if buffer is not None:
+                        position = chunk_positions[index]
+                        if position >= len(buffer):
+                            # Clamp to the remaining phase budget so the
+                            # workload's positions end the phase exactly
+                            # where the reference loop leaves them (the
+                            # max(1, ...) covers the budget-0 edge where
+                            # the reference still generates one access).
+                            buffer = chunk_workloads[index].stream_chunk(
+                                vcpu_indices[index],
+                                max(1, min(_CHUNK_ACCESSES, count)),
+                            )
+                            if not buffer:
+                                raise StopIteration(
+                                    f"vCPU {vcpu_indices[index]} trace exhausted"
+                                )
+                            chunk_buffers[index] = buffer
+                            position = 0
+                        initiator, guest_page, block_index, is_write = buffer[
+                            position
+                        ]
+                        chunk_positions[index] = position + 1
+                    else:
+                        (
+                            initiator,
+                            guest_page,
+                            block_index,
+                            is_write,
+                        ) = steppers[index]()
+                # ---- translation (reference order, call-free memo) ---
+                vm_id = vm_ids[index]
+                if initiator is guest_initiator:
+                    vm_tag = vm_id
+                    vm_memo = vm_memos[index]
+                    if guest_page in vm_memo:
+                        host_page, page_type = vm_memo[guest_page]
+                        if is_write and page_type is ro_shared:
+                            self.now = local_time
+                            host_page, page_type = write_to_page(
+                                vm_id, guest_page
+                            )
+                    else:
+                        self.now = local_time
+                        if is_write:
+                            entry = write_to_page(vm_id, guest_page)
+                        else:
+                            entry = mem_translate(vm_id, guest_page)
+                        vm_memo[guest_page] = entry
+                        host_page, page_type = entry
+                else:
+                    vm_tag = untracked
+                    if initiator is hyp_initiator:
+                        if guest_page in hyp_memo:
+                            host_page, page_type = hyp_memo[guest_page]
+                        else:
+                            self.now = local_time
+                            host_page, page_type = rw_shared_translate(
+                                HYPERVISOR_SPACE, guest_page
+                            )
+                    else:
+                        if guest_page in dom0_memo:
+                            host_page, page_type = dom0_memo[guest_page]
+                        else:
+                            self.now = local_time
+                            host_page, page_type = rw_shared_translate(
+                                DOM0_VM_ID, guest_page
+                            )
+                block = (host_page << page_shift) | block_index
+                core = cores[index]
+
+                l1_by_page_type[page_type] += 1
+
+                # ---- cache probe (reference order, call-free LRU) ----
+                l1_set = l1_sets_by_core[core][block & l1_mask]
+                if block in l1_set:
+                    l1_line = l1_set[block]
+                    del l1_set[block]
+                    l1_set[block] = l1_line
+                    hierarchies[core].l1_hits += 1
+                    latency = l1_latency
+                    if is_write:
+                        l1_line.dirty = True
+                        l2_sets_by_core[core][block & l2_mask][block].dirty = True
+                        if block in reg_blocks:
+                            state = reg_blocks[block]
+                            if state.owner == core and state.sharers == {core}:
+                                state.dirty = True
+                            else:
+                                self.now = local_time
+                                latency += transact(
+                                    core, vm_id, block, True, page_type,
+                                    initiator, vm_tag, hierarchies[core], True,
+                                )
+                        else:
+                            self.now = local_time
+                            latency += transact(
+                                core, vm_id, block, True, page_type,
+                                initiator, vm_tag, hierarchies[core], True,
+                            )
+                else:
+                    l2_set = l2_sets_by_core[core][block & l2_mask]
+                    if block in l2_set:
+                        l2_line = l2_set[block]
+                        del l2_set[block]
+                        l2_set[block] = l2_line
+                        hierarchy = hierarchies[core]
+                        hierarchy.l2_hits += 1
+                        if is_write:
+                            l2_line.dirty = True
+                        if len(l1_set) >= l1_ways:
+                            del l1_set[next(iter(l1_set))]
+                        l1_set[block] = CacheLine(block, vm_tag, is_write)
+                        latency = l12_latency
+                        if is_write:
+                            if block in reg_blocks:
+                                state = reg_blocks[block]
+                                if (
+                                    state.owner == core
+                                    and state.sharers == {core}
+                                ):
+                                    state.dirty = True
+                                else:
+                                    self.now = local_time
+                                    latency += transact(
+                                        core, vm_id, block, True, page_type,
+                                        initiator, vm_tag, hierarchy, True,
+                                    )
+                            else:
+                                self.now = local_time
+                                latency += transact(
+                                    core, vm_id, block, True, page_type,
+                                    initiator, vm_tag, hierarchy, True,
+                                )
+                    else:
+                        hierarchy = hierarchies[core]
+                        hierarchy.misses += 1
+                        self.now = local_time
+                        latency = l12_latency + transact(
+                            core, vm_id, block, is_write, page_type,
+                            initiator, vm_tag, hierarchy, False,
+                        )
+
+                # ---- schedule (provably the reference pop order) -----
+                next_time = local_time + think + latency
+                count -= 1
+                if count > 0:
+                    sequence += 1
+                    # push-then-pop == (pop current min, insert new) ==
+                    # (new itself when it is <= the heap minimum). Keys
+                    # are unique, so `<` fully orders them.
+                    fresh = (next_time, sequence, index, count)
+                    if heap and heap[0] < fresh:
+                        item = heapreplace(heap, fresh)
+                    else:
+                        item = fresh
+                else:
+                    final[index] = next_time
+                    item = heappop(heap) if heap else None
+        finally:
+            # Settle every word stream back into its Random — also on a
+            # StopIteration/bail so callers observe a live generator.
+            for vm_stream in vm_streams.values():
+                vm_stream.finish(vm_stream.pointer)
+        self.now = local_time
+        stats.l1_accesses += budget * len(vcpus)
+        self._next_sample = next_sample
+        if os.environ.get(_VALIDATE_ENV):
+            # Structural self-check of every cache through the packed
+            # mirror (repro.cache.setassoc) — differential CI runs with
+            # this on to catch any LRU-order drift the call-free dict
+            # spellings could introduce.
+            for hierarchy in hierarchies:
+                hierarchy.l1.validate_packed()
+                hierarchy.l2.validate_packed()
+        return final

@@ -73,7 +73,7 @@ from typing import (
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.sim.system import SnapshotMismatch, build_system
-from repro.sim.engine import SimulationEngine
+from repro.sim.kernel import engine_for
 from repro.store import get_store, snapshots_enabled
 from repro.workloads import get_profile
 
@@ -146,7 +146,7 @@ def prepare_task(task: SimTask):
     """
     store = get_store()
     system = build_system(task.config, get_profile(task.app))
-    engine = SimulationEngine(system)
+    engine = engine_for(system)
     clocks = None
     fingerprint_key = fingerprint = None
     if (
@@ -180,7 +180,7 @@ def prepare_task(task: SimTask):
                         file=sys.stderr,
                     )
                     system = build_system(task.config, get_profile(task.app))
-                    engine = SimulationEngine(system)
+                    engine = engine_for(system)
                     clocks = None
     if clocks is None:
         clocks = engine.warm()
@@ -367,6 +367,10 @@ WARMUP_INERT_FIELDS = frozenset(
         # must observe the warm-up), see run_simulation_task.
         "sanitize",
         "sanitize_mode",
+        # Kernel choice is bit-identical by construction (the batched
+        # kernel's whole contract), so warm snapshots are interchangeable
+        # across kernels — a differential run warms once and forks.
+        "kernel",
     }
 )
 """Config fields provably inert before measurement begins.

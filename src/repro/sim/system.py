@@ -150,8 +150,8 @@ SNAPSHOT_FORMAT = 1
 def _capture_sets(sets) -> list:
     """Each cache set as an ordered ``(block, vm_id, dirty)`` list.
 
-    The sets are OrderedDicts whose insertion order *is* the LRU order,
-    so a plain item walk captures recency exactly.
+    The sets are dicts whose insertion order *is* the LRU order, so a
+    plain item walk captures recency exactly.
     """
     return [
         [(line.block, line.vm_id, line.dirty) for line in cache_set.values()]
@@ -160,7 +160,7 @@ def _capture_sets(sets) -> list:
 
 
 def _restore_sets(sets, captured: list) -> None:
-    """Refill the existing set OrderedDicts in place, preserving order.
+    """Refill the existing set dicts in place, preserving order.
 
     In place because the hierarchy's ``_l1_sets``/``_l2_sets`` aliases
     *are* the caches' own set lists — replacing the dicts would split

@@ -54,3 +54,37 @@ def test_migration_heavy_runs_are_clean_and_unperturbed(params):
     # Unperturbed: the shadow layer must not change a single counter.
     plain = run(params, sanitize=False)
     assert sanitized.stats.to_dict() == plain.stats.to_dict()
+
+
+@settings(max_examples=6, deadline=None)
+@given(params=configs)
+def test_batched_kernel_is_sanitizer_clean_and_bit_identical(params):
+    """Forcing the batched kernel under the sanitizer must stay clean
+    and reproduce the reference engine's stats byte-for-byte — the
+    bail-out seams feed the sanitizer an unchanged event stream."""
+    from repro.sim.kernel import BatchedEngine, engine_for
+
+    config = SimConfig(
+        num_cores=4,
+        mesh_width=2,
+        mesh_height=2,
+        num_vms=2,
+        vcpus_per_vm=2,
+        l1_size=1024,
+        l1_ways=2,
+        l2_size=4096,
+        l2_ways=4,
+        working_set_scale=0.15,
+        accesses_per_vcpu=800,
+        warmup_accesses_per_vcpu=300,
+        sanitize=True,
+        kernel="batched",
+        **params,
+    )
+    batched = build_system(config, get_profile("fft"))
+    engine = engine_for(batched)
+    assert isinstance(engine, BatchedEngine)
+    engine.run()
+    assert batched.sanitizer.violation_count == 0
+    reference = run(params, sanitize=True)
+    assert batched.stats.to_dict() == reference.stats.to_dict()
