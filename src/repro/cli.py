@@ -56,6 +56,10 @@ EXPERIMENTS = {
     "tab6": ("repro.experiments.content_study", "Tables V-VI + Figure 10"),
     "fig10": ("repro.experiments.content_study", "Tables V-VI + Figure 10"),
     "clustered": ("repro.experiments.ext_clustered", "Extension: clustered scheduling"),
+    "consolidation": (
+        "repro.experiments.consolidation",
+        "Extension: consolidation-host scaling (16/64/144 cores)",
+    ),
     "regionscout": ("repro.experiments.baseline_comparison", "Extension: RegionScout"),
 }
 
@@ -95,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument("--filter", default="vsnoop",
                          choices=("vsnoop", "regionscout"))
+        cmd.add_argument("--topology", default="mesh",
+                         choices=("mesh", "torus", "hierarchical"),
+                         help="interconnect geometry (hierarchical = "
+                         "--sockets meshes of --width x --height joined "
+                         "by gateway links)")
+        cmd.add_argument("--cores", type=int, default=16,
+                         help="physical cores; must equal width*height "
+                         "(*sockets for hierarchical)")
+        cmd.add_argument("--width", type=int, default=4,
+                         help="mesh width (per socket for hierarchical)")
+        cmd.add_argument("--height", type=int, default=4,
+                         help="mesh height (per socket for hierarchical)")
+        cmd.add_argument("--sockets", type=int, default=1,
+                         help="sockets for the hierarchical topology")
+        cmd.add_argument("--inter-socket-hop-cost", type=int, default=4,
+                         metavar="HOPS",
+                         help="latency/flit charge of one inter-socket "
+                         "crossing, in hop equivalents")
+        cmd.add_argument("--vms", type=int, default=4, help="guest VM count")
+        cmd.add_argument("--vcpus", type=int, default=4,
+                         help="vCPUs per guest VM")
         cmd.add_argument("--migration-ms", type=float, default=None,
                          help="vCPU shuffle period in (scaled) milliseconds")
         cmd.add_argument("--content-sharing", action="store_true",
@@ -213,6 +238,14 @@ def _config_from_args(args: argparse.Namespace):
 
     return SimConfig(
         filter_kind=args.filter,
+        topology=args.topology,
+        num_cores=args.cores,
+        mesh_width=args.width,
+        mesh_height=args.height,
+        num_sockets=args.sockets,
+        inter_socket_hop_cost=args.inter_socket_hop_cost,
+        num_vms=args.vms,
+        vcpus_per_vm=args.vcpus,
         snoop_policy=_POLICY_NAMES[args.policy],
         content_policy=_CONTENT_NAMES[args.content_policy],
         migration_period_ms=args.migration_ms,

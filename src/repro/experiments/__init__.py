@@ -17,6 +17,7 @@ Figure 10   :mod:`repro.experiments.content_study`
 
 from repro.experiments import (
     baseline_comparison,
+    consolidation,
     content_study,
     ext_clustered,
     fig01_l2_decomposition,
@@ -28,6 +29,7 @@ from repro.experiments import (
 
 __all__ = [
     "baseline_comparison",
+    "consolidation",
     "content_study",
     "ext_clustered",
     "fig01_l2_decomposition",

@@ -46,8 +46,11 @@ def migration_config(
     return SimConfig.migration_study(
         snoop_policy=policy,
         migration_period_ms=period_ms,
-        accesses_per_vcpu=scaled(50_000),
-        warmup_accesses_per_vcpu=scaled(8_000),
+        # Fast mode shrinks these only 2x (not the default 4x): the
+        # counter mechanism needs enough measured cycles to drain old
+        # cores mid-run, or the Figure 7/8 policy gaps collapse to zero.
+        accesses_per_vcpu=scaled(50_000, factor=2),
+        warmup_accesses_per_vcpu=scaled(8_000, factor=2),
         seed=seed,
     )
 

@@ -226,28 +226,7 @@ class CreditSchedulerSim:
             # 3. Fill idle cores; preempt OVER-priority guests when an
             # UNDER-priority vCPU is waiting (Xen's credit semantics —
             # this rotation is the overcommitted-host migration churn).
-            under_waiting = any(
-                v.state == RUNNABLE and v.is_under for v in self.vcpus
-            )
-            for core in range(cfg.num_cores):
-                current = running[core]
-                if current is not None and current.state == RUNNING:
-                    preemptable = (
-                        under_waiting
-                        and not current.is_dom0
-                        and not current.is_under
-                    )
-                    if not preemptable:
-                        continue
-                    current.state = RUNNABLE
-                    self._enqueue(current)
-                    running[core] = None
-                replacement = self._dispatch(core)
-                running[core] = replacement
-                if replacement is not None and not replacement.is_under:
-                    under_waiting = any(
-                        v.state == RUNNABLE and v.is_under for v in self.vcpus
-                    )
+            self._fill_cores(running)
             # 4. Account a tick of work.
             for core in range(cfg.num_cores):
                 vcpu = running[core]
@@ -280,6 +259,37 @@ class CreditSchedulerSim:
     # ------------------------------------------------------------------
     # Queues, dispatch, preemption.
     # ------------------------------------------------------------------
+
+    def _fill_cores(self, running: List[Optional[SchedVcpu]]) -> None:
+        """One scheduling pass: fill idle cores, rotate OVER for UNDER."""
+        cfg = self.config
+        under_waiting = any(
+            v.state == RUNNABLE and v.is_under for v in self.vcpus
+        )
+        for core in range(cfg.num_cores):
+            current = running[core]
+            if current is not None and current.state == RUNNING:
+                preemptable = (
+                    under_waiting
+                    and not current.is_dom0
+                    and not current.is_under
+                )
+                if not preemptable:
+                    continue
+                current.state = RUNNABLE
+                self._enqueue(current)
+                running[core] = None
+            replacement = self._dispatch(core)
+            running[core] = replacement
+            # Any dispatch may have consumed the last waiting UNDER vCPU
+            # (an UNDER dispatch does so directly), and a stale True here
+            # would spuriously preempt later cores' OVER guests. Once
+            # False it stays False: this pass only ever re-queues OVER
+            # vCPUs, so skip the rescan then.
+            if replacement is not None and under_waiting:
+                under_waiting = any(
+                    v.state == RUNNABLE and v.is_under for v in self.vcpus
+                )
 
     def _enqueue(self, vcpu: SchedVcpu) -> None:
         core = vcpu.home_core if self.config.policy == "pinned" else vcpu.last_core

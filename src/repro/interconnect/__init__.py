@@ -1,13 +1,29 @@
-"""Interconnect substrate: mesh topology, XY routing, traffic accounting."""
+"""Interconnect substrate: topologies, routing, traffic accounting."""
 
+from repro.interconnect.builder import (
+    TOPOLOGY_BUILDERS,
+    build_topology,
+    check_topology_config,
+)
 from repro.interconnect.messages import DEFAULT_SIZING, FlitSizing, MessageKind
 from repro.interconnect.network import NetworkModel
-from repro.interconnect.topology import MeshTopology
+from repro.interconnect.topology import (
+    HierarchicalTopology,
+    MeshTopology,
+    Topology,
+    TorusTopology,
+)
 
 __all__ = [
     "DEFAULT_SIZING",
     "FlitSizing",
+    "HierarchicalTopology",
     "MeshTopology",
     "MessageKind",
     "NetworkModel",
+    "TOPOLOGY_BUILDERS",
+    "Topology",
+    "TorusTopology",
+    "build_topology",
+    "check_topology_config",
 ]

@@ -1,0 +1,103 @@
+"""Topology builder registry.
+
+``SimConfig`` names its interconnect geometry with a ``topology`` string
+("mesh", "torus", "hierarchical") plus the dimension fields; this module
+owns the mapping from that config block to a concrete
+:class:`~repro.interconnect.topology.Topology`. Keeping both the
+validation and the construction here means ``SimConfig.__post_init__``
+and ``build_system`` can never drift apart: the config is rejected at
+construction time iff the builder would refuse it.
+
+The registry is import-cycle-free by design — this package never imports
+from ``repro.sim``; the functions take any object carrying the topology
+config fields (``topology``, ``num_cores``, ``mesh_width``,
+``mesh_height``, ``num_sockets``, ``inter_socket_hop_cost``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.interconnect.topology import (
+    HierarchicalTopology,
+    MeshTopology,
+    Topology,
+    TorusTopology,
+)
+
+
+def _check_grid(config) -> None:
+    if config.num_cores != config.mesh_width * config.mesh_height:
+        raise ValueError(
+            f"num_cores={config.num_cores} != mesh "
+            f"{config.mesh_width}x{config.mesh_height}"
+        )
+    if config.num_sockets != 1:
+        raise ValueError(
+            f"topology {config.topology!r} is single-socket; "
+            f"got num_sockets={config.num_sockets}"
+        )
+
+
+def _check_hierarchical(config) -> None:
+    if config.num_sockets < 2:
+        raise ValueError(
+            f"hierarchical topology needs >= 2 sockets, got "
+            f"{config.num_sockets} (use 'mesh' for a single socket)"
+        )
+    socket_size = config.mesh_width * config.mesh_height
+    if config.num_cores != config.num_sockets * socket_size:
+        raise ValueError(
+            f"num_cores={config.num_cores} != {config.num_sockets} sockets "
+            f"x {config.mesh_width}x{config.mesh_height} mesh"
+        )
+    if config.inter_socket_hop_cost < 1:
+        raise ValueError(
+            f"inter_socket_hop_cost must be >= 1, got "
+            f"{config.inter_socket_hop_cost}"
+        )
+
+
+def _build_mesh(config) -> Topology:
+    return MeshTopology(config.mesh_width, config.mesh_height)
+
+
+def _build_torus(config) -> Topology:
+    return TorusTopology(config.mesh_width, config.mesh_height)
+
+
+def _build_hierarchical(config) -> Topology:
+    return HierarchicalTopology(
+        config.num_sockets,
+        config.mesh_width,
+        config.mesh_height,
+        config.inter_socket_hop_cost,
+    )
+
+
+# name -> (validate, build). Validators are pure arithmetic over the
+# config fields so SimConfig can call them from __post_init__.
+TOPOLOGY_BUILDERS: Dict[str, Tuple[Callable, Callable]] = {
+    "mesh": (_check_grid, _build_mesh),
+    "torus": (_check_grid, _build_torus),
+    "hierarchical": (_check_hierarchical, _build_hierarchical),
+}
+
+
+def check_topology_config(config) -> None:
+    """Validate the topology block of a config; raise ValueError if bad."""
+    try:
+        validate, _ = TOPOLOGY_BUILDERS[config.topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {config.topology!r} "
+            f"(expected one of {sorted(TOPOLOGY_BUILDERS)})"
+        ) from None
+    validate(config)
+
+
+def build_topology(config) -> Topology:
+    """Construct the topology named by ``config.topology``."""
+    check_topology_config(config)
+    _, build = TOPOLOGY_BUILDERS[config.topology]
+    return build(config)

@@ -18,11 +18,11 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.interconnect.messages import DEFAULT_SIZING, FlitSizing, MessageKind
-from repro.interconnect.topology import MeshTopology
+from repro.interconnect.topology import Topology
 
 
 class NetworkModel:
-    """Traffic and latency accounting for one mesh interconnect.
+    """Traffic and latency accounting for one interconnect.
 
     The model is *analytic*: it does not queue individual flits, it
     estimates delay from utilisation measured over a sliding window of
@@ -32,7 +32,7 @@ class NetworkModel:
 
     def __init__(
         self,
-        topology: MeshTopology,
+        topology: Topology,
         sizing: FlitSizing = DEFAULT_SIZING,
         router_latency: int = 4,
         link_latency: int = 1,
@@ -51,9 +51,10 @@ class NetworkModel:
         self._hops = topology.hops_table
         self._flits = {kind: sizing.flits(kind) for kind in MessageKind}
         self._per_hop = router_latency + link_latency
-        # Directed link count of a W x H mesh.
-        w, h = topology.width, topology.height
-        self.num_links = 2 * (2 * w * h - w - h)
+        # Directed link count — the capacity denominator for windowed
+        # utilisation. Each topology reports its own (hierarchical ones
+        # count inter-socket channels as their serialised segments).
+        self.num_links = topology.num_links
         # Traffic counters (cumulative).
         self.messages = 0
         self.flit_hops = 0
@@ -80,11 +81,20 @@ class NetworkModel:
 
     def _advance_window(self, cycle: int) -> None:
         if cycle - self._window_start >= self.window_cycles:
-            elapsed = max(cycle - self._window_start, 1)
-            capacity = elapsed * self.num_links
+            # Close the accumulating window at its true width — judging
+            # its flit-hops over the whole gap to the next message would
+            # dilute a busy window toward zero after a quiet stretch.
+            capacity = self.window_cycles * self.num_links
             self._last_utilisation = min(self._window_flit_hops / capacity, 0.95)
-            self._window_start = cycle
+            self._window_start += self.window_cycles
             self._window_flit_hops = 0
+            # Any further fully-elapsed windows carried no traffic:
+            # utilisation decays to zero and the window grid re-tiles up
+            # to the current cycle.
+            idle = (cycle - self._window_start) // self.window_cycles
+            if idle > 0:
+                self._window_start += idle * self.window_cycles
+                self._last_utilisation = 0.0
 
     def utilisation(self) -> float:
         """Most recent windowed link utilisation estimate in [0, 0.95]."""
@@ -198,11 +208,18 @@ class NetworkModel:
             latency += self.send(responder, src, response_kind, cycle)
         return latency
 
-    def reset(self) -> None:
+    def reset(self, cycle: int = 0) -> None:
+        """Zero the counters and restart the utilisation window at ``cycle``.
+
+        A mid-run reset (the warm-up / measurement boundary) must pass
+        the current cycle: rewinding the window epoch to 0 would make
+        the next window span the entire prior run and dilute its
+        utilisation toward zero.
+        """
         self.messages = 0
         self.flit_hops = 0
         self.bytes_transferred = 0
-        self._window_start = 0
+        self._window_start = cycle
         self._window_flit_hops = 0
         self._last_utilisation = 0.0
         self._mc_cache.clear()

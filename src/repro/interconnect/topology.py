@@ -1,9 +1,17 @@
-"""2D mesh topology.
+"""Interconnect topologies.
 
 The paper's simulated system (Table II) uses a 4x4 2D mesh with 16 B links
-and a 4-cycle router pipeline. This module provides the geometry: node
-coordinates, neighbours, and XY (dimension-ordered) routing distances.
-Nodes are numbered row-major: node = y * width + x.
+and a 4-cycle router pipeline. That geometry is :class:`MeshTopology`;
+the consolidation-scale studies add :class:`TorusTopology` (wrap-around
+links halve the average hop count) and :class:`HierarchicalTopology`
+(multi-socket hosts: one mesh per socket, fully connected gateway nodes
+between sockets with an extra per-crossing hop charge).
+
+Every topology exposes the same surface — ``num_nodes``, a precomputed
+``hops_table``, ``hops``/``route``/``neighbours`` and an analytic directed
+``num_links`` used by the network model's utilisation capacity. Mesh and
+torus nodes are numbered row-major (node = y * width + x); hierarchical
+nodes are socket-major (node = socket * socket_size + local).
 """
 
 from __future__ import annotations
@@ -11,7 +19,54 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 
-class MeshTopology:
+class Topology:
+    """Common surface shared by every interconnect geometry.
+
+    Subclasses populate ``hops_table`` in ``__init__`` and implement
+    ``route``, ``neighbours`` and ``num_links``. ``hops_table`` stays a
+    plain list-of-lists because the coherence hot path indexes it
+    directly (``network._hops[src][dst]``).
+    """
+
+    hops_table: List[List[int]]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.hops_table)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} outside topology of {self.num_nodes} nodes"
+            )
+
+    def hops(self, src: int, dst: int) -> int:
+        """Routed hop count between two nodes (table lookup)."""
+        self._check(src)
+        self._check(dst)
+        return self.hops_table[src][dst]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Deterministic route from ``src`` to ``dst``, inclusive of endpoints."""
+        raise NotImplementedError
+
+    def neighbours(self, node: int) -> Iterator[int]:
+        """Nodes one link away from ``node``."""
+        raise NotImplementedError
+
+    @property
+    def num_links(self) -> int:
+        """Directed link count — the per-cycle flit capacity denominator."""
+        raise NotImplementedError
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered src != dst pairs."""
+        total = sum(sum(row) for row in self.hops_table)
+        pairs = self.num_nodes * (self.num_nodes - 1)
+        return total / pairs if pairs else 0.0
+
+
+class MeshTopology(Topology):
     """A ``width`` x ``height`` 2D mesh."""
 
     def __init__(self, width: int, height: int) -> None:
@@ -23,7 +78,7 @@ class MeshTopology:
         # is small (16 nodes in the paper's configuration) and hop lookups
         # dominate the latency model's cost, so pay O(n^2) memory once.
         n = width * height
-        self.hops_table: List[List[int]] = [
+        self.hops_table = [
             [
                 abs(s % width - d % width) + abs(s // width - d // width)
                 for d in range(n)
@@ -34,6 +89,11 @@ class MeshTopology:
     @property
     def num_nodes(self) -> int:
         return self.width * self.height
+
+    @property
+    def num_links(self) -> int:
+        # Directed link count of a W x H mesh.
+        return 2 * (2 * self.width * self.height - self.width - self.height)
 
     def coords(self, node: int) -> Tuple[int, int]:
         """(x, y) coordinates of ``node``."""
@@ -75,6 +135,9 @@ class MeshTopology:
             path.append(self.node_at(x, y))
         return path
 
+    def route(self, src: int, dst: int) -> List[int]:
+        return self.xy_route(src, dst)
+
     def neighbours(self, node: int) -> Iterator[int]:
         x, y = self.coords(node)
         if x > 0:
@@ -86,8 +149,192 @@ class MeshTopology:
         if y < self.height - 1:
             yield self.node_at(x, y + 1)
 
-    def average_distance(self) -> float:
-        """Mean hop count over all ordered src != dst pairs."""
-        total = sum(sum(row) for row in self.hops_table)
-        pairs = self.num_nodes * (self.num_nodes - 1)
-        return total / pairs if pairs else 0.0
+
+def _ring_step(pos: int, dst: int, size: int) -> int:
+    """Direction (+1/-1/0) of the shorter way around a ring; ties go +1."""
+    if pos == dst:
+        return 0
+    forward = (dst - pos) % size
+    backward = (pos - dst) % size
+    return 1 if forward <= backward else -1
+
+
+class TorusTopology(MeshTopology):
+    """A ``width`` x ``height`` 2D torus — a mesh with wrap-around links.
+
+    Each row and column closes into a ring, so the per-dimension distance
+    is ``min(d, size - d)``. Routing stays dimension-ordered (X then Y)
+    but takes the shorter way around each ring, ties broken toward +1.
+    Dimensions of size 2 get a single link between the two nodes, not a
+    redundant parallel pair, so a 2x2 torus degenerates to a 2x2 mesh.
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        super().__init__(width, height)
+        n = width * height
+        self.hops_table = [
+            [
+                min((d % width - s % width) % width, (s % width - d % width) % width)
+                + min(
+                    (d // width - s // width) % height,
+                    (s // width - d // width) % height,
+                )
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
+
+    @property
+    def num_links(self) -> int:
+        # Per dimension: rings of size > 2 contribute 2 directed links per
+        # node; size 2 collapses to the mesh's single bidirectional link
+        # and size 1 has none.
+        w, h = self.width, self.height
+        x_links = h * (2 * w if w > 2 else 2 * (w - 1))
+        y_links = w * (2 * h if h > 2 else 2 * (h - 1))
+        return x_links + y_links
+
+    def hops(self, src: int, dst: int) -> int:
+        """Torus distance — per-dimension shortest way around the ring."""
+        self._check(src)
+        self._check(dst)
+        return self.hops_table[src][dst]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Dimension-ordered route taking the shorter ring direction."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        while x != dx:
+            x = (x + _ring_step(x, dx, self.width)) % self.width
+            path.append(self.node_at(x, y))
+        while y != dy:
+            y = (y + _ring_step(y, dy, self.height)) % self.height
+            path.append(self.node_at(x, y))
+        return path
+
+    def xy_route(self, src: int, dst: int) -> List[int]:
+        return self.route(src, dst)
+
+    def neighbours(self, node: int) -> Iterator[int]:
+        x, y = self.coords(node)
+        seen = {node}
+        for nx, ny in (
+            ((x - 1) % self.width, y),
+            ((x + 1) % self.width, y),
+            (x, (y - 1) % self.height),
+            (x, (y + 1) % self.height),
+        ):
+            other = self.node_at(nx, ny)
+            # A dimension of size 2 wraps both directions onto the same
+            # node (and size 1 onto the node itself): yield each link once.
+            if other not in seen:
+                seen.add(other)
+                yield other
+
+
+class HierarchicalTopology(Topology):
+    """Multi-socket host: one mesh per socket, fully connected gateways.
+
+    Nodes are socket-major: ``node = socket * (w * h) + local``, with the
+    socket's local node 0 acting as its gateway. A cross-socket message
+    routes to the source gateway over the local mesh, crosses one
+    inter-socket link charged ``inter_socket_hop_cost`` hops (modeling
+    the longer, serialised off-package channel — the charge scales both
+    latency and flit-hop traffic), then routes from the destination
+    gateway over the remote mesh. Matching that charge, each directed
+    inter-socket link contributes ``inter_socket_hop_cost`` segments to
+    ``num_links`` so utilisation capacity stays consistent with traffic.
+    """
+
+    def __init__(
+        self,
+        num_sockets: int,
+        socket_width: int,
+        socket_height: int,
+        inter_socket_hop_cost: int = 4,
+    ) -> None:
+        if num_sockets <= 0:
+            raise ValueError(f"need at least one socket, got {num_sockets}")
+        if inter_socket_hop_cost < 1:
+            raise ValueError(
+                f"inter_socket_hop_cost must be >= 1, got {inter_socket_hop_cost}"
+            )
+        self.num_sockets = num_sockets
+        self.socket_width = socket_width
+        self.socket_height = socket_height
+        self.inter_socket_hop_cost = inter_socket_hop_cost
+        self.socket_mesh = MeshTopology(socket_width, socket_height)
+        self.socket_size = self.socket_mesh.num_nodes
+        mesh_hops = self.socket_mesh.hops_table
+        n = num_sockets * self.socket_size
+        size = self.socket_size
+        cost = inter_socket_hop_cost
+        self.hops_table = [
+            [
+                mesh_hops[s % size][d % size]
+                if s // size == d // size
+                else mesh_hops[s % size][0] + cost + mesh_hops[0][d % size]
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
+
+    @property
+    def num_links(self) -> int:
+        intra = self.num_sockets * self.socket_mesh.num_links
+        return intra + self.num_inter_links
+
+    @property
+    def num_intra_links(self) -> int:
+        return self.num_sockets * self.socket_mesh.num_links
+
+    @property
+    def num_inter_links(self) -> int:
+        # S*(S-1) directed gateway pairs, each a chain of `cost` serial
+        # link segments (capacity matches the per-crossing flit charge).
+        s = self.num_sockets
+        return self.inter_socket_hop_cost * s * (s - 1)
+
+    def socket_of(self, node: int) -> int:
+        self._check(node)
+        return node // self.socket_size
+
+    def gateway(self, socket: int) -> int:
+        if not 0 <= socket < self.num_sockets:
+            raise ValueError(
+                f"socket {socket} outside host of {self.num_sockets} sockets"
+            )
+        return socket * self.socket_size
+
+    def _local_route(self, socket: int, src: int, dst: int) -> List[int]:
+        base = socket * self.socket_size
+        return [base + n for n in self.socket_mesh.xy_route(src, dst)]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY within each socket; cross-socket via the two gateways.
+
+        The gateway-to-gateway crossing appears as one edge of the route
+        (it is one physical channel), so for cross-socket pairs
+        ``hops(src, dst) == len(route) - 1 + (inter_socket_hop_cost - 1)``.
+        """
+        self._check(src)
+        self._check(dst)
+        s_sock, s_local = divmod(src, self.socket_size)
+        d_sock, d_local = divmod(dst, self.socket_size)
+        if s_sock == d_sock:
+            return self._local_route(s_sock, s_local, d_local)
+        path = self._local_route(s_sock, s_local, 0)
+        tail = self._local_route(d_sock, 0, d_local)
+        return path + tail
+
+    def neighbours(self, node: int) -> Iterator[int]:
+        sock, local = divmod(node, self.socket_size)
+        base = sock * self.socket_size
+        for n in self.socket_mesh.neighbours(local):
+            yield base + n
+        if local == 0:
+            for other in range(self.num_sockets):
+                if other != sock:
+                    yield self.gateway(other)

@@ -25,16 +25,24 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.filter import ContentPolicy, SnoopPolicy
+from repro.interconnect.builder import check_topology_config
 
 
 @dataclass(frozen=True)
 class SimConfig:
     """Full configuration of one coherence simulation."""
 
-    # System (Table II).
+    # System (Table II). The topology block is resolved by the builder
+    # registry (repro.interconnect.builder): "mesh" and "torus" read
+    # mesh_width x mesh_height and require num_cores to match;
+    # "hierarchical" is num_sockets sockets of mesh_width x mesh_height
+    # each, joined by gateway links charged inter_socket_hop_cost hops.
     num_cores: int = 16
+    topology: str = "mesh"
     mesh_width: int = 4
     mesh_height: int = 4
+    num_sockets: int = 1
+    inter_socket_hop_cost: int = 4
     block_size: int = 64
     l1_size: int = 32 * 1024
     l1_ways: int = 4
@@ -101,11 +109,7 @@ class SimConfig:
     kernel: str = "auto"
 
     def __post_init__(self) -> None:
-        if self.num_cores != self.mesh_width * self.mesh_height:
-            raise ValueError(
-                f"num_cores={self.num_cores} != mesh "
-                f"{self.mesh_width}x{self.mesh_height}"
-            )
+        check_topology_config(self)
         if self.num_vms * self.vcpus_per_vm > self.num_cores:
             raise ValueError(
                 f"{self.num_vms} VMs x {self.vcpus_per_vm} vCPUs exceed "

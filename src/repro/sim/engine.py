@@ -164,7 +164,7 @@ class SimulationEngine:
             finally:
                 if gc_was_enabled:
                     gc.enable()
-            self._reset_measurements()
+            self._reset_measurements(min(clocks))
         return clocks
 
     def restore_warm(self, state: dict) -> List[int]:
@@ -176,7 +176,7 @@ class SimulationEngine:
         pre-measurement state.
         """
         clocks = self.system.restore(state)
-        self._reset_measurements()
+        self._reset_measurements(min(clocks))
         return clocks
 
     def measure(
@@ -395,15 +395,21 @@ class SimulationEngine:
         self.system.hypervisor.swap_vcpus(first, second, cycle=self.now)
         self.stats.migrations += 1
 
-    def _reset_measurements(self) -> None:
-        """Zero every measurement counter; architectural state persists."""
+    def _reset_measurements(self, cycle: int = 0) -> None:
+        """Zero every measurement counter; architectural state persists.
+
+        ``cycle`` anchors the network's utilisation window at the
+        measurement boundary (both the straight warm-up and the
+        snapshot-restore path pass ``min(clocks)``, so the two stay
+        bit-identical).
+        """
         from repro.sim.stats import SimStats
 
         fresh = SimStats()
         self.system.stats = fresh
         self.system.protocol.stats = fresh.coherence
         self.stats = fresh
-        self.system.network.reset()
+        self.system.network.reset(cycle)
         self.system.memory_ctrl.reset()
         for hierarchy in self.system.caches.values():
             hierarchy.l1_hits = 0
@@ -514,6 +520,9 @@ class SimulationEngine:
                 record.period for record in domains.removal_log
             ]
             stats.removal_periods_dropped = domains.removal_log_dropped
+            stats.snoop_map_sizes = {
+                vm.vm_id: domains.domain_size(vm.vm_id) for vm in system.vms
+            }
         if self._metrics is not None:
             stats.metrics = self._metrics.finish(self.now)
         if self._tracer is not None:

@@ -553,6 +553,9 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
         "policy": task.config.snoop_policy.value,
         "content_policy": task.config.content_policy.value,
         "filter": task.config.filter_kind,
+        "topology": task.config.topology,
+        "num_cores": task.config.num_cores,
+        "num_vms": task.config.num_vms,
         "migration_period_ms": task.config.migration_period_ms,
         "seed": task.config.seed,
         "ok": result.ok,
@@ -563,6 +566,21 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
         "us_per_access": us_per_access,
         "error": result.error,
     }
+    if result.stats is not None:
+        stats = result.stats
+        # Consolidation-study scaling columns: how big the snoop maps
+        # grew and what fraction of the broadcast snoops the filter
+        # saved, per cell.
+        if stats.snoop_map_sizes:
+            sizes = stats.snoop_map_sizes.values()
+            entry["snoop_map_avg_size"] = round(sum(sizes) / len(sizes), 3)
+        if stats.coherence.transactions:
+            # Same baseline convention as normalized_snoops_percent: a
+            # broadcast protocol snoops every core on every transaction.
+            broadcast_snoops = task.config.num_cores * stats.coherence.transactions
+            entry["filtered_snoop_fraction"] = round(
+                1.0 - stats.coherence.snoops / broadcast_snoops, 6
+            )
     # Cells run with a metrics recorder carry their time-series into the
     # manifest, so a campaign's temporal behaviour (Figures 7-9) is
     # inspectable without re-running anything.

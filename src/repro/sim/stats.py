@@ -57,6 +57,11 @@ class SimStats:
     # omitted from to_dict() in that case so sanitizer-less artifacts stay
     # bit-identical to earlier releases.
     sanitizer_violations: Dict[SanitizerCheck, int] = field(default_factory=dict)
+    # Final snoop-map (vCPU map) size per VM at the end of the measured
+    # phase — the consolidation study's scaling observable. Empty (and
+    # omitted from to_dict) for filters without domain tables
+    # (RegionScout).
+    snoop_map_sizes: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Serialization — the JSON artifact one campaign cell persists.
@@ -87,6 +92,11 @@ class SimStats:
             elif f.name == "removal_periods_dropped":
                 if value:
                     out[f.name] = value
+            elif f.name == "snoop_map_sizes":
+                # Omitted when empty (RegionScout has no domain table);
+                # the int VM-id keys become strings in the JSON artifact.
+                if value:
+                    out[f.name] = dict(value)
             elif f.name in _ENUM_KEYED:
                 out[f.name] = {key.value: count for key, count in value.items()}
             elif isinstance(value, list):
@@ -112,6 +122,11 @@ class SimStats:
             }
         if "metrics" in kwargs and kwargs["metrics"] is not None:
             kwargs["metrics"] = MetricsSeries.from_dict(kwargs["metrics"])
+        if "snoop_map_sizes" in kwargs:
+            # JSON stringifies the int VM ids; undo that on the way in.
+            kwargs["snoop_map_sizes"] = {
+                int(vm): size for vm, size in kwargs["snoop_map_sizes"].items()
+            }
         for name, enum_type in _ENUM_KEYED.items():
             if name in kwargs:
                 kwargs[name] = {

@@ -24,7 +24,8 @@ from repro.hypervisor.memory import HostPageInfo, MemoryManager
 from repro.hypervisor.vm import DOM0_VM_ID, VirtualMachine
 from repro.interconnect.messages import FlitSizing, MessageKind
 from repro.interconnect.network import NetworkModel
-from repro.interconnect.topology import MeshTopology
+from repro.interconnect.builder import build_topology
+from repro.interconnect.topology import Topology
 from repro.mem.address import AddressLayout
 from repro.mem.controller import MemoryController
 from repro.mem.pagetype import PageType
@@ -187,7 +188,7 @@ class SimulatedSystem:
     config: SimConfig
     profile: AppProfile
     layout: AddressLayout
-    topology: MeshTopology
+    topology: Topology
     network: NetworkModel
     memory_ctrl: MemoryController
     registry: TokenRegistry
@@ -425,7 +426,7 @@ def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
     ``i*vcpus .. (i+1)*vcpus - 1``).
     """
     layout = AddressLayout(block_size=config.block_size)
-    topology = MeshTopology(config.mesh_width, config.mesh_height)
+    topology = build_topology(config)
     sizing = FlitSizing(link_bytes=config.link_bytes, block_bytes=config.block_size)
     network = NetworkModel(
         topology,

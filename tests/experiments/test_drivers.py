@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.filter import SnoopPolicy
 from repro.experiments import (
+    consolidation,
     content_study,
     ext_clustered,
     fig01_l2_decomposition,
@@ -98,6 +99,49 @@ class TestExtClustered:
         assert row["clustered"]["domain_bound_cores"] < row["credit"]["domain_bound_cores"]
         assert row["clustered"]["wall_ms"] <= row["pinned"]["wall_ms"] * 1.05
         assert "clustered" in ext_clustered.format_result(results)
+
+
+class TestConsolidation:
+    def test_filtered_fraction_rises_with_host_size(self):
+        results = consolidation.run(
+            apps=["fft"], hosts=[16, 64], accesses=1000, warmup=400,
+        )
+        by_host = results["fft"]
+        for policy in (SnoopPolicy.VSNOOP_BASE, SnoopPolicy.VSNOOP_COUNTER):
+            small = by_host[16][policy.value]
+            large = by_host[64][policy.value]
+            # Maps stay ~VM-sized while the host quadruples, so the
+            # filtered fraction climbs (0.75 -> ~0.94).
+            assert large["filtered_snoop_fraction"] > small["filtered_snoop_fraction"]
+            assert small["snoop_map_avg_size"] <= 8.0
+            assert large["snoop_map_avg_size"] <= 8.0
+        # Broadcast filters nothing at any scale.
+        assert by_host[16]["broadcast"]["filtered_snoop_fraction"] == 0.0
+        assert by_host[64]["broadcast"]["filtered_snoop_fraction"] == 0.0
+        # ... and its per-transaction traffic grows superlinearly.
+        assert (
+            by_host[64]["broadcast"]["traffic_bytes_per_transaction"]
+            > 2 * by_host[16]["broadcast"]["traffic_bytes_per_transaction"]
+        )
+
+    def test_smoke_mode_shrinks_sweep(self, monkeypatch):
+        monkeypatch.setenv("CONSOLIDATION_SMOKE", "1")
+        assert consolidation.smoke_mode()
+        config = consolidation.consolidation_config(
+            64, SnoopPolicy.VSNOOP_COUNTER
+        )
+        assert config.sanitize
+        assert config.accesses_per_vcpu == 1_500
+        results = consolidation.run(apps=["fft"], policies=(SnoopPolicy.VSNOOP_BASE,))
+        assert set(results["fft"]) == {64}
+
+    def test_format_scaling_table(self):
+        results = consolidation.run(
+            apps=["fft"], hosts=[16], accesses=600, warmup=200,
+        )
+        out = consolidation.format_scaling(results)
+        assert "Consolidation scaling" in out
+        assert "filtered" in out and "16" in out
 
 
 class TestContentStudy:

@@ -73,4 +73,27 @@ GOLDEN_CASES = {
     "regionscout-fft": SimTask(
         _case(filter_kind="regionscout", migration_period_ms=0.5), "fft"
     ),
+    # Non-default topologies (the consolidation-scale geometries), frozen
+    # small: a 4x4 torus (wrap links halve average distance, changing
+    # every latency downstream) and a 2-socket hierarchical host with
+    # migrations crossing the socket boundary.
+    "torus-counter-fft": SimTask(
+        _case(
+            topology="torus",
+            snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+            migration_period_ms=0.5,
+        ),
+        "fft",
+    ),
+    "hierarchical-counter-lu": SimTask(
+        _case(
+            topology="hierarchical",
+            num_cores=32,
+            num_sockets=2,
+            num_vms=8,
+            snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+            migration_period_ms=0.5,
+        ),
+        "lu",
+    ),
 }

@@ -99,6 +99,68 @@ class TestPolicies:
         assert pinned.wall_ms <= credit.wall_ms * 1.05
 
 
+class TestUnderWaitingRecompute:
+    """Dispatching the last waiting UNDER vCPU must clear ``under_waiting``
+    for the rest of the tick (regression: it was only recomputed after an
+    OVER dispatch, so later cores spuriously preempted their OVER guests
+    — resetting their slices and inflating migration churn)."""
+
+    def _one_under_many_over(self):
+        profile = quick_profile(io_wakes_per_sec=0.0)
+        sim = CreditSchedulerSim(
+            SchedulerConfig(num_cores=3, policy="credit", dom0_vcpus=0),
+            profile,
+            num_vms=3,
+            vcpus_per_vm=1,
+        )
+        under, over1, over2 = sim.vcpus
+        under.credits = 30.0
+        over1.credits = over2.credits = -5.0
+        for queue in sim._queues:
+            queue.clear()
+        # Cores 1 and 2 run OVER guests mid-burst; core 0 is idle and the
+        # only UNDER vCPU waits in its queue.
+        running = [None, over1, over2]
+        for vcpu, core in ((over1, 1), (over2, 2)):
+            vcpu.state = "running"
+            vcpu.last_core = core
+            vcpu.slice_left = 7.5
+            vcpu.burst_left = 10.0
+        under.state = "runnable"
+        under.last_core = 0
+        under.burst_left = 5.0
+        sim._queues[0].append(under)
+        return sim, running, under, over1, over2
+
+    def test_last_under_dispatch_stops_preemption(self):
+        sim, running, under, over1, over2 = self._one_under_many_over()
+        sim._fill_cores(running)
+        # Core 0 takes the UNDER vCPU; that consumed the last waiting
+        # UNDER, so cores 1 and 2 must keep their OVER guests running
+        # undisturbed (no preempt-and-restart resetting their slices).
+        assert running[0] is under
+        assert running[1] is over1 and over1.state == "running"
+        assert running[2] is over2 and over2.state == "running"
+        assert over1.slice_left == 7.5
+        assert over2.slice_left == 7.5
+
+    def test_waiting_under_still_preempts_over(self):
+        # Control: with a second UNDER vCPU still waiting after core 0
+        # dispatches, core 1's OVER guest must be preempted for it.
+        sim, running, under, over1, over2 = self._one_under_many_over()
+        extra = sim.vcpus[0].__class__(4, 0, sim.profile)
+        extra.credits = 30.0
+        extra.state = "runnable"
+        extra.last_core = 0
+        extra.burst_left = 5.0
+        sim.vcpus.append(extra)
+        sim._queues[0].append(extra)
+        sim._fill_cores(running)
+        assert running[0] is under
+        assert running[1] is extra
+        assert over1.state == "runnable"
+
+
 class TestClusteredPolicy:
     def test_rejects_bad_cluster_factor(self):
         with pytest.raises(ValueError):

@@ -136,6 +136,77 @@ class TestMulticastDestinations:
         assert not net._mc_cache
 
 
+class TestWindowDecay:
+    """Utilisation must decay across idle windows (regression: the window
+    only rolled when a message arrived, so after a quiet gap the model
+    reported the last busy window's utilisation and the closing window
+    averaged its flit-hops over the whole idle gap)."""
+
+    def _saturate(self, net, start, end):
+        for cycle in range(start, end, 2):
+            net.multicast(0, range(16), MessageKind.DATA, cycle=cycle)
+
+    def test_single_idle_window_zeroes_utilisation(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        self._saturate(net, 0, 64)
+        # First message of window [128, 192): window [64, 128) was empty,
+        # so the busy window's value must not survive the gap.
+        net.send(0, 1, MessageKind.REQUEST, cycle=130)
+        assert net.utilisation() == 0.0
+        assert net.contention_delay() == 0
+
+    def test_long_quiet_gap_decays_to_zero(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        self._saturate(net, 0, 128)
+        net.send(0, 1, MessageKind.REQUEST, cycle=100_000)
+        assert net.utilisation() == 0.0
+
+    def test_closing_window_divides_by_window_not_gap(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        for cycle in range(0, 16, 2):
+            net.multicast(0, range(16), MessageKind.DATA, cycle=cycle)
+        # 8 multicasts x 240 flit-hops land in window [0, 64); the first
+        # roll happens 36 cycles into the next window. The busy window is
+        # judged over its own 64 cycles (1920 / (64*48)), not the 100
+        # cycles elapsed since its start (which diluted it to 0.4).
+        net._advance_window(100)
+        assert net.utilisation() == pytest.approx(1920 / (64 * 48))
+
+    def test_continuous_traffic_keeps_utilisation(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        self._saturate(net, 0, 2048)
+        assert net.utilisation() > 0.5
+
+
+class TestResetEpoch:
+    """reset(cycle) must restart the utilisation window at the given
+    cycle (regression: rewinding _window_start to 0 made the next window
+    span the entire prior run and dilute utilisation to ~0)."""
+
+    def test_reset_sets_window_epoch(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        net.send(0, 5, MessageKind.DATA, cycle=10)
+        net.reset(cycle=1_000_003)
+        assert net._window_start == 1_000_003
+        assert net.messages == 0
+        assert net.utilisation() == 0.0
+
+    def test_reset_default_epoch_is_zero(self):
+        net = NetworkModel(MeshTopology(4, 4))
+        net.send(0, 5, MessageKind.DATA, cycle=10)
+        net.reset()
+        assert net._window_start == 0
+
+    def test_post_reset_window_not_diluted(self):
+        net = NetworkModel(MeshTopology(4, 4), window_cycles=64)
+        base = 1_000_003
+        net.reset(cycle=base)
+        for cycle in range(base, base + 64, 2):
+            net.multicast(0, range(16), MessageKind.DATA, cycle=cycle)
+        net.send(0, 1, MessageKind.REQUEST, cycle=base + 70)
+        assert net.utilisation() > 0.3
+
+
 class TestContention:
     def test_idle_network_no_delay(self):
         net = NetworkModel(MeshTopology(4, 4))

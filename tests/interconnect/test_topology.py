@@ -1,10 +1,15 @@
-"""Tests for the mesh topology and XY routing."""
+"""Tests for the interconnect topologies and their routing."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.interconnect.topology import MeshTopology
+from repro.interconnect.topology import (
+    HierarchicalTopology,
+    MeshTopology,
+    Topology,
+    TorusTopology,
+)
 
 
 class TestMesh4x4:
@@ -73,3 +78,181 @@ def test_property_route_valid_steps(src, dst):
 def test_property_hops_symmetric(src, dst):
     mesh = MeshTopology(4, 4)
     assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+
+# ---------------------------------------------------------------------------
+# Geometry invariants shared by every topology.
+# ---------------------------------------------------------------------------
+
+TOPOLOGIES = {
+    "mesh-4x4": MeshTopology(4, 4),
+    "mesh-1x5": MeshTopology(1, 5),
+    "mesh-5x1": MeshTopology(5, 1),
+    "torus-4x4": TorusTopology(4, 4),
+    "torus-1x5": TorusTopology(1, 5),
+    "torus-2x3": TorusTopology(2, 3),
+    "hier-4s-4x4": HierarchicalTopology(4, 4, 4),
+    "hier-2s-2x2-cost1": HierarchicalTopology(2, 2, 2, inter_socket_hop_cost=1),
+}
+
+
+def _crossing_correction(topo: Topology, src: int, dst: int) -> int:
+    """Extra hops charged beyond the route's edge count.
+
+    The hierarchical gateway-to-gateway crossing is one route edge but
+    ``inter_socket_hop_cost`` hops; every other topology charges each
+    route edge exactly one hop.
+    """
+    if isinstance(topo, HierarchicalTopology):
+        if topo.socket_of(src) != topo.socket_of(dst):
+            return topo.inter_socket_hop_cost - 1
+    return 0
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_route_length_matches_hops(name):
+    topo = TOPOLOGIES[name]
+    for src in range(topo.num_nodes):
+        for dst in range(topo.num_nodes):
+            route = topo.route(src, dst)
+            assert route[0] == src and route[-1] == dst
+            expected = len(route) - 1 + _crossing_correction(topo, src, dst)
+            assert topo.hops(src, dst) == expected, (src, dst, route)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_route_steps_are_neighbour_links(name):
+    topo = TOPOLOGIES[name]
+    for src in range(topo.num_nodes):
+        for dst in range(topo.num_nodes):
+            route = topo.route(src, dst)
+            assert len(set(route)) == len(route), "route revisits a node"
+            for a, b in zip(route, route[1:]):
+                assert b in set(topo.neighbours(a)), (a, b)
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_neighbour_relation_symmetric(name):
+    topo = TOPOLOGIES[name]
+    for node in range(topo.num_nodes):
+        for other in topo.neighbours(node):
+            assert node in set(topo.neighbours(other))
+            assert topo.hops(node, other) in (
+                1,
+                getattr(topo, "inter_socket_hop_cost", 1),
+            )
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_num_links_matches_neighbour_edge_count(name):
+    """num_links (the capacity denominator) agrees with the edge list.
+
+    Hierarchical inter-socket links count ``inter_socket_hop_cost``
+    capacity segments per directed gateway pair, so compare the
+    neighbour-derived edge count against intra links plus one edge per
+    gateway pair.
+    """
+    topo = TOPOLOGIES[name]
+    directed_edges = sum(
+        len(list(topo.neighbours(n))) for n in range(topo.num_nodes)
+    )
+    if isinstance(topo, HierarchicalTopology):
+        s = topo.num_sockets
+        assert directed_edges == topo.num_intra_links + s * (s - 1)
+        assert topo.num_links == topo.num_intra_links + topo.num_inter_links
+    else:
+        assert directed_edges == topo.num_links
+
+
+class TestDegenerateMeshes:
+    """1xN / Nx1 meshes are chains; routing must stay well-formed."""
+
+    @pytest.mark.parametrize("topo", [MeshTopology(1, 5), MeshTopology(5, 1)])
+    def test_chain_geometry(self, topo):
+        assert topo.num_nodes == 5
+        assert topo.num_links == 2 * 4
+        assert topo.hops(0, 4) == 4
+        assert topo.route(0, 4) == [0, 1, 2, 3, 4]
+        assert set(topo.neighbours(0)) == {1}
+        assert set(topo.neighbours(2)) == {1, 3}
+
+    def test_single_node_mesh(self):
+        topo = MeshTopology(1, 1)
+        assert topo.num_nodes == 1
+        assert topo.num_links == 0
+        assert topo.route(0, 0) == [0]
+        assert list(topo.neighbours(0)) == []
+
+
+class TestTorus:
+    def test_wraparound_halves_distance(self):
+        torus = TorusTopology(4, 4)
+        mesh = MeshTopology(4, 4)
+        assert torus.hops(0, 3) == 1  # wrap link vs 3 mesh hops
+        assert torus.hops(0, 15) == 2
+        assert torus.average_distance() < mesh.average_distance()
+
+    def test_route_takes_shorter_ring_direction(self):
+        torus = TorusTopology(4, 4)
+        assert torus.route(0, 3) == [0, 3]
+        assert torus.route(0, 12) == [0, 12]
+
+    def test_size_two_dimension_has_single_link(self):
+        # 2x3: wrap and mesh link coincide along X — counted once.
+        torus = TorusTopology(2, 3)
+        assert set(torus.neighbours(0)) == {1, 2, 4}
+        assert torus.num_links == 3 * 2 * (2 - 1) + 2 * (2 * 3)
+
+    def test_ring_degenerate_1xn(self):
+        ring = TorusTopology(1, 5)
+        assert ring.hops(0, 4) == 1
+        assert ring.num_links == 2 * 5
+        assert set(ring.neighbours(0)) == {1, 4}
+
+
+class TestHierarchical:
+    def setup_method(self):
+        self.topo = HierarchicalTopology(4, 4, 4)
+
+    def test_socket_major_numbering(self):
+        assert self.topo.num_nodes == 64
+        assert self.topo.socket_of(0) == 0
+        assert self.topo.socket_of(17) == 1
+        assert self.topo.gateway(2) == 32
+
+    def test_same_socket_is_mesh_distance(self):
+        mesh = MeshTopology(4, 4)
+        for s in range(16):
+            for d in range(16):
+                assert self.topo.hops(16 + s, 16 + d) == mesh.hops(s, d)
+
+    def test_cross_socket_charges_gateway_cost(self):
+        # node 5 (socket 0) -> node 16+5 (socket 1): 2 hops to local
+        # gateway, 4-hop crossing, 2 hops out to the destination.
+        assert self.topo.hops(5, 21) == 2 + 4 + 2
+
+    def test_route_crosses_exactly_one_gateway_pair(self):
+        route = self.topo.route(5, 21)
+        assert route[0] == 5 and route[-1] == 21
+        gateways = [n for n in route if n % 16 == 0]
+        assert gateways == [0, 16]
+
+    def test_gateway_neighbours_include_remote_gateways(self):
+        assert set(self.topo.neighbours(0)) >= {16, 32, 48}
+        # Non-gateway nodes never link off-socket.
+        assert all(
+            self.topo.socket_of(n) == 1 for n in self.topo.neighbours(21)
+        )
+
+    def test_link_accounting(self):
+        assert self.topo.num_intra_links == 4 * MeshTopology(4, 4).num_links
+        assert self.topo.num_inter_links == 4 * 4 * 3
+        assert self.topo.num_links == 240
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalTopology(0, 4, 4)
+        with pytest.raises(ValueError):
+            HierarchicalTopology(2, 4, 4, inter_socket_hop_cost=0)
+        with pytest.raises(ValueError):
+            self.topo.gateway(4)

@@ -48,6 +48,39 @@ class TestValidation:
         with pytest.raises(ValueError):
             SimConfig(num_cores=12)
 
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            SimConfig(topology="ring")
+
+    def test_torus_checks_grid(self):
+        SimConfig(topology="torus")  # 16 == 4x4, fine
+        with pytest.raises(ValueError):
+            SimConfig(topology="torus", num_cores=12)
+
+    def test_grid_topologies_reject_multiple_sockets(self):
+        with pytest.raises(ValueError, match="single-socket"):
+            SimConfig(num_sockets=2)
+
+    def test_hierarchical_core_count(self):
+        config = SimConfig(
+            topology="hierarchical", num_cores=32, num_sockets=2,
+            num_vms=8,
+        )
+        assert config.num_cores == 32
+        with pytest.raises(ValueError):
+            SimConfig(topology="hierarchical", num_cores=16, num_sockets=2)
+
+    def test_hierarchical_needs_two_sockets(self):
+        with pytest.raises(ValueError, match=">= 2 sockets"):
+            SimConfig(topology="hierarchical", num_sockets=1)
+
+    def test_hierarchical_hop_cost_positive(self):
+        with pytest.raises(ValueError, match="inter_socket_hop_cost"):
+            SimConfig(
+                topology="hierarchical", num_cores=32, num_sockets=2,
+                num_vms=8, inter_socket_hop_cost=0,
+            )
+
     def test_overcommit_rejected(self):
         with pytest.raises(ValueError):
             SimConfig(num_vms=5, vcpus_per_vm=4)

@@ -47,6 +47,73 @@ class TestTwoVmSixteenCores:
         assert ratio == pytest.approx(0.25, abs=0.03)
 
 
+class TestTorusHost:
+    def test_runs_and_filters(self):
+        config = SimConfig(
+            topology="torus",
+            snoop_policy=SnoopPolicy.VSNOOP_BASE,
+            accesses_per_vcpu=1200, warmup_accesses_per_vcpu=800,
+        )
+        system = run_simulation(build_system(config, get_profile("fft")))
+        assert type(system.topology).__name__ == "TorusTopology"
+        ratio = system.stats.total_snoops / (16 * system.stats.total_transactions)
+        assert ratio == pytest.approx(0.25, abs=0.03)
+
+    def test_wraparound_lowers_latency_vs_mesh(self):
+        # Same trace, same policy: the torus halves worst-case hop counts
+        # so total execution cycles must not increase.
+        kw = dict(
+            snoop_policy=SnoopPolicy.BROADCAST,
+            accesses_per_vcpu=1200, warmup_accesses_per_vcpu=800,
+        )
+        mesh = run_simulation(build_system(SimConfig(**kw), get_profile("fft")))
+        torus = run_simulation(
+            build_system(SimConfig(topology="torus", **kw), get_profile("fft"))
+        )
+        assert torus.stats.execution_cycles <= mesh.stats.execution_cycles
+
+
+class TestHierarchicalHost:
+    """Two 4x4 sockets, 8 VMs: the consolidation building block."""
+
+    def config(self, **kw):
+        defaults = dict(
+            topology="hierarchical", num_cores=32, num_sockets=2,
+            mesh_width=4, mesh_height=4, num_vms=8, vcpus_per_vm=4,
+            accesses_per_vcpu=1000, warmup_accesses_per_vcpu=600,
+        )
+        defaults.update(kw)
+        return SimConfig(**defaults)
+
+    def test_runs_on_32_cores(self):
+        system = run_simulation(build_system(self.config(), get_profile("fft")))
+        assert len(system.caches) == 32
+        assert system.stats.total_transactions > 0
+
+    def test_vsnoop_filters_most_of_the_host(self):
+        # 8 VMs x 4 vCPUs on 32 cores: each map covers ~1/8 of the host.
+        system = run_simulation(build_system(
+            self.config(snoop_policy=SnoopPolicy.VSNOOP_BASE),
+            get_profile("fft"),
+        ))
+        ratio = system.stats.total_snoops / (32 * system.stats.total_transactions)
+        assert ratio == pytest.approx(0.125, abs=0.03)
+        sizes = system.stats.snoop_map_sizes
+        assert len(sizes) == 8
+        assert all(size <= 8 for size in sizes.values())
+
+    def test_sanitized_run_is_clean(self):
+        system = run_simulation(build_system(
+            self.config(
+                snoop_policy=SnoopPolicy.VSNOOP_COUNTER, sanitize=True,
+                migration_period_ms=0.05, cycles_per_ms=84_000,
+            ),
+            get_profile("fft"),
+        ))
+        assert system.stats.sanitizer_violations == {}
+        assert system.stats.migrations > 0
+
+
 class TestSingleVm:
     def test_domain_is_whole_vm(self):
         config = SimConfig(

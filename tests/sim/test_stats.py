@@ -94,6 +94,17 @@ class TestSerialization:
         encoded = json.dumps(stats.to_dict(), sort_keys=True)
         assert SimStats.from_dict(json.loads(encoded)) == stats
 
+    def test_snoop_map_sizes_round_trip_through_json(self):
+        stats = SimStats()
+        stats.snoop_map_sizes = {1: 4, 2: 7, 10: 16}
+        encoded = json.dumps(stats.to_dict(), sort_keys=True)
+        decoded = SimStats.from_dict(json.loads(encoded))
+        # JSON stringifies the int VM ids; from_dict must undo that.
+        assert decoded.snoop_map_sizes == {1: 4, 2: 7, 10: 16}
+        assert decoded == stats
+        # Omitted while empty so older artifacts stay loadable/identical.
+        assert "snoop_map_sizes" not in SimStats().to_dict()
+
     def test_to_dict_covers_every_field(self):
         data = SimStats().to_dict()
         # sanitizer_violations, metrics and removal_periods_dropped are
@@ -103,6 +114,7 @@ class TestSerialization:
         expected.discard("sanitizer_violations")
         expected.discard("metrics")
         expected.discard("removal_periods_dropped")
+        expected.discard("snoop_map_sizes")
         assert set(data) == expected
         coherence = data["coherence"]
         assert set(coherence) == {f.name for f in dataclasses.fields(CoherenceStats)}
