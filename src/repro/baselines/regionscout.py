@@ -217,7 +217,11 @@ class RegionScoutFilter(PlacementListener):
 
     def bucket_of(self, region: int) -> int:
         """The (memoised) CRH bucket every core hashes ``region`` into."""
-        bucket = self._bucket_memo.get(region)
+        # The region->bucket mapping is a pure function of (region,
+        # crh_buckets), so this memo has no epoch to consult — unlike
+        # _plan_cache, whose entries go stale when bucket membership
+        # changes and are therefore (epoch, plan) pairs.
+        bucket = self._bucket_memo.get(region)  # repro-lint: disable=RPL120; pure hash memo, never invalidated
         if bucket is None:
             bucket = self._bucket_memo[region] = (
                 region * _HASH_MULTIPLIER

@@ -1,11 +1,18 @@
-"""repro-lint: a small AST lint for simulation reproducibility hazards.
+"""repro-lint: AST lint for simulation reproducibility hazards.
 
-Six rules (``repro-lint --list-rules``) catch the specific ways this
-codebase could silently lose run-to-run determinism: unordered set
-iteration feeding ordered decisions, the shared global RNG, id()-keyed
-caches, wall-clock reads in simulation logic, mutable default arguments,
-and stats serializers not keyed by enum ``.value``. Suppress a
-deliberate use with a same-line ``# repro-lint: disable=CODE`` comment.
+Two layers share one rule catalogue and one suppression convention:
+
+* **line-local** (RPL000–RPL006) — per-file rules for unordered set
+  iteration, the shared global RNG, id()-keyed caches, wall-clock reads,
+  mutable default arguments and unstable stats serializer keys;
+* **project** (RPL100 and up, ``repro-lint --project``) — whole-program
+  passes over the :class:`~repro.lint.project.ProjectIndex`: the
+  ``to_dict``/``from_dict`` round-trip contract, the ``STATE_VERSION``
+  fingerprint ratchet, memo-epoch hazards and parallel-task purity.
+
+Suppress a deliberate use with a same-line
+``# repro-lint: disable=CODE`` comment (codes or rule names, comma
+separated); project findings anchor suppressions at the reported line.
 """
 
 from repro.lint.checker import (
@@ -14,18 +21,34 @@ from repro.lint.checker import (
     lint_file,
     lint_paths,
     lint_source,
+    suppressions_for,
+)
+from repro.lint.project import ProjectIndex
+from repro.lint.project_api import (
+    filter_baseline,
+    lint_index,
+    lint_project,
+    load_baseline,
+    write_baseline,
 )
 from repro.lint.rules import RULES, RULES_BY_CODE, RULES_BY_NAME, Rule, resolve_rule
 
 __all__ = [
+    "ProjectIndex",
     "RULES",
     "RULES_BY_CODE",
     "RULES_BY_NAME",
     "Rule",
     "Violation",
+    "filter_baseline",
     "iter_python_files",
     "lint_file",
+    "lint_index",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "resolve_rule",
+    "suppressions_for",
+    "write_baseline",
 ]

@@ -131,6 +131,18 @@ def _suppressions(source: str, path: str) -> Tuple[Dict[int, Set[str]], List[Vio
     return table, bad
 
 
+def suppressions_for(
+    source: str, path: str
+) -> Tuple[Dict[int, Set[str]], List[Violation]]:
+    """Public suppression-table builder for other lint layers.
+
+    Project-mode passes (:mod:`repro.lint.project_api`) reuse the exact
+    same same-line ``disable=`` semantics as the line-local checker, so
+    one suppression convention covers every rule family.
+    """
+    return _suppressions(source, path)
+
+
 class _Checker(ast.NodeVisitor):
     """Single-file visitor implementing every catalogue rule."""
 
@@ -206,7 +218,10 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
-    def _check_generators(self, node) -> None:
+    def _check_generators(
+        self,
+        node: "ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp",
+    ) -> None:
         for gen in node.generators:
             if self._is_unordered(gen.iter):
                 self._report(
@@ -351,7 +366,9 @@ class _Checker(ast.NodeVisitor):
 
     # -- RPL005: mutable defaults -------------------------------------
 
-    def _check_defaults(self, node) -> None:
+    def _check_defaults(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda"
+    ) -> None:
         args = node.args
         defaults = list(args.defaults) + [
             d for d in args.kw_defaults if d is not None

@@ -1,0 +1,54 @@
+"""Cross-module lint passes over a :class:`~repro.lint.project.ProjectIndex`.
+
+Four passes, one invariant family each:
+
+* :mod:`repro.lint.passes.serialization` — RPL100/101/102, the
+  ``to_dict``/``from_dict`` round-trip contract.
+* :mod:`repro.lint.passes.state_version` — RPL110/111, the
+  ``STATE_VERSION`` ratchet against the checked-in fingerprint file.
+* :mod:`repro.lint.passes.memo_epoch` — RPL120, epoch-guarded caches
+  read without consulting their epoch.
+* :mod:`repro.lint.passes.purity` — RPL130/131, functions reachable
+  from ``parallel_map``/process-per-cell task submission mutating
+  module state.
+
+Each pass is a function ``run(index, **options) -> List[Violation]``;
+:func:`run_project_passes` runs them all and returns the merged,
+suppression-unfiltered findings (the caller owns suppression and
+sorting, see :func:`repro.lint.project_api.lint_project`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.checker import Violation
+from repro.lint.passes import memo_epoch, purity, serialization, state_version
+from repro.lint.project import ProjectIndex
+
+PASS_NAMES = ("serialization", "state-version", "memo-epoch", "purity")
+
+
+def run_project_passes(
+    index: ProjectIndex,
+    *,
+    fingerprints_path: Optional[Path] = None,
+    watchlist: Optional[Sequence["state_version.WatchedEntity"]] = None,
+    version_symbol: Optional[str] = None,
+    entry_points: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """All four cross-module passes over one index, findings merged."""
+    violations: List[Violation] = []
+    violations.extend(serialization.run(index))
+    violations.extend(
+        state_version.run(
+            index,
+            fingerprints_path=fingerprints_path,
+            watchlist=watchlist,
+            version_symbol=version_symbol,
+        )
+    )
+    violations.extend(memo_epoch.run(index))
+    violations.extend(purity.run(index, entry_points=entry_points))
+    return violations

@@ -1,0 +1,128 @@
+"""Memo-epoch hazard pass (RPL120).
+
+The plan-cache family (``VirtualSnoopFilter._plan_cache`` /
+``RegionScoutFilter._plan_cache``) pairs every memoised attribute with
+an epoch counter (``*_version`` / ``*_epoch*``) that is bumped when the
+underlying mapping changes; every read re-validates against the
+counter. A class that carries such a counter has *opted into* that
+discipline — so a method of that class reading a ``*_cache`` /
+``*_memo*`` attribute without consulting any epoch attribute is serving
+entries that may have survived an invalidation.
+
+Scope and known limits (kept deliberately narrow for low noise):
+
+* per-class, syntactic — inherited cache attributes are not attributed
+  to subclasses, and classes with caches but *no* epoch counter are out
+  of scope (nothing promises invalidation there);
+* "consults" means the method references any epoch attribute of the
+  class anywhere in its body;
+* wholesale reassignment (``self._c = {}``) and ``self._c.clear()``
+  are invalidation, not reads, and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.checker import Violation
+from repro.lint.project import ClassInfo, ProjectIndex
+from repro.lint.rules import RULES_BY_CODE
+
+
+def _is_epoch_name(name: str) -> bool:
+    return name.endswith("_version") or "_epoch" in name or name == "version"
+
+
+def _is_cache_name(name: str) -> bool:
+    if _is_epoch_name(name):
+        return False
+    return name.endswith("_cache") or "_memo" in name
+
+
+def _self_attrs(node: ast.AST) -> List[ast.Attribute]:
+    """Every ``self.<attr>`` access inside ``node``, in source order."""
+    out: List[ast.Attribute] = []
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        ):
+            out.append(child)
+    return out
+
+
+def _class_attr_names(cls: ClassInfo) -> Set[str]:
+    """Attributes assigned via ``self.<name> = ...`` plus declared fields."""
+    names: Set[str] = set(cls.fields)
+    for method in cls.methods.values():
+        for attr in _self_attrs(method):
+            if isinstance(attr.ctx, ast.Store):
+                names.add(attr.attr)
+    return names
+
+
+def _cleared_attrs(method: ast.FunctionDef) -> Set[Tuple[int, int]]:
+    """Locations of ``self.<attr>`` inside a ``.clear()`` call."""
+    cleared: Set[Tuple[int, int]] = set()
+    for node in ast.walk(method):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "clear"
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            inner = node.func.value
+            cleared.add((inner.lineno, inner.col_offset))
+    return cleared
+
+
+def _check_class(cls: ClassInfo) -> List[Violation]:
+    attrs = _class_attr_names(cls)
+    epoch_attrs = sorted(name for name in attrs if _is_epoch_name(name))
+    cache_attrs = {name for name in attrs if _is_cache_name(name)}
+    if not epoch_attrs or not cache_attrs:
+        return []
+    violations: List[Violation] = []
+    for method_name, method in cls.methods.items():
+        accesses = _self_attrs(method)
+        if any(attr.attr in epoch_attrs for attr in accesses):
+            continue  # The method consults an epoch: discipline upheld.
+        cleared = _cleared_attrs(method)
+        reported: Dict[str, bool] = {}
+        for attr in accesses:
+            if attr.attr not in cache_attrs or not isinstance(attr.ctx, ast.Load):
+                continue
+            if (attr.lineno, attr.col_offset) in cleared:
+                continue
+            if reported.get(attr.attr):
+                continue
+            reported[attr.attr] = True
+            violations.append(
+                Violation(
+                    path=cls.path,
+                    line=attr.lineno,
+                    col=attr.col_offset,
+                    rule=RULES_BY_CODE["RPL120"],
+                    message=(
+                        f"{cls.name}.{method_name} reads self.{attr.attr} "
+                        f"without consulting an epoch counter "
+                        f"({', '.join(epoch_attrs)} exist on this class); "
+                        f"entries may have survived an invalidation"
+                    ),
+                )
+            )
+    return violations
+
+
+def run(index: ProjectIndex) -> List[Violation]:
+    """Check every class in the index for epoch-less cache reads."""
+    violations: List[Violation] = []
+    for module_name in sorted(index.modules):
+        module = index.modules[module_name]
+        for class_name in sorted(module.classes):
+            violations.extend(_check_class(module.classes[class_name]))
+    return violations

@@ -1,0 +1,228 @@
+"""Parallel-task purity pass (RPL130/RPL131).
+
+``parallel_map`` runs its task function in worker processes when
+``jobs > 1`` and inline when ``jobs == 1`` — and the repo's contract is
+that both paths are bit-identical. Task code that writes a module-level
+global (RPL130) or mutates module-level mutable state (RPL131) breaks
+that: the write vanishes with the worker process on one path and leaks
+across cells on the other.
+
+The pass discovers *submission sites* — every ``parallel_map(fn, ...)``
+call's first argument and every ``task_fn=<name>`` keyword — plus the
+configured extra entry points (``run_simulation_task``, the default
+process-per-cell worker), then walks the project call graph from those
+roots. Only statically resolvable calls (module-level functions,
+``from x import f`` aliases, one-level module attributes) are followed;
+methods and constructors are out of scope, which keeps the pass
+precise at the cost of depth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.checker import Violation
+from repro.lint.project import FunctionInfo, ModuleInfo, ProjectIndex
+from repro.lint.rules import RULES_BY_CODE
+
+# The process-per-cell worker every campaign funnels through; checked
+# even when no parallel_map call site is present in the linted tree.
+DEFAULT_ENTRY_POINTS: Tuple[str, ...] = ("repro.sim.runner.run_simulation_task",)
+
+# Submission-site callables whose first positional argument is a task fn.
+_SUBMIT_NAMES = {"parallel_map"}
+
+# Keyword argument naming a task fn at any call site.
+_TASK_KEYWORD = "task_fn"
+
+# Methods that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "appendleft",
+    "extendleft",
+}
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _resolve_task_name(
+    index: ProjectIndex, module: ModuleInfo, node: ast.expr
+) -> Optional[FunctionInfo]:
+    if not isinstance(node, ast.Name):
+        return None
+    return index.resolve_call_target(module, node)
+
+
+def find_entry_points(
+    index: ProjectIndex, extra: Optional[Sequence[str]] = None
+) -> List[Tuple[FunctionInfo, str]]:
+    """Every task function submitted to a parallel site, with its origin.
+
+    Returns ``(function, reason)`` pairs, deterministically ordered;
+    ``reason`` describes the submission site for use in messages.
+    """
+    found: Dict[str, Tuple[FunctionInfo, str]] = {}
+    for module_name in sorted(index.modules):
+        module = index.modules[module_name]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name in _SUBMIT_NAMES and node.args:
+                info = _resolve_task_name(index, module, node.args[0])
+                if info is not None and info.qualname not in found:
+                    found[info.qualname] = (
+                        info,
+                        f"{name}() at {module.path}:{node.lineno}",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg == _TASK_KEYWORD:
+                    info = _resolve_task_name(index, module, keyword.value)
+                    if info is not None and info.qualname not in found:
+                        found[info.qualname] = (
+                            info,
+                            f"task_fn= at {module.path}:{node.lineno}",
+                        )
+    for qualname in extra if extra is not None else DEFAULT_ENTRY_POINTS:
+        info = index.find_function(qualname)
+        if info is not None and info.qualname not in found:
+            found[info.qualname] = (info, "process-per-cell worker")
+    return [found[qualname] for qualname in sorted(found)]
+
+
+def _written_names(node: ast.FunctionDef) -> Set[str]:
+    """Names assigned anywhere in the function (any binding form)."""
+    written: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            written.add(child.id)
+        elif isinstance(child, ast.AugAssign) and isinstance(child.target, ast.Name):
+            written.add(child.target.id)
+    return written
+
+
+def _check_function(
+    index: ProjectIndex,
+    info: FunctionInfo,
+    entry: str,
+) -> Tuple[List[Violation], List[FunctionInfo]]:
+    """Findings in one function plus the project callees to visit next."""
+    module = index.modules[info.module_name]
+    violations: List[Violation] = []
+    callees: List[FunctionInfo] = []
+    written = _written_names(info.node)
+    reported_globals: Set[str] = set()
+    reported_mutations: Set[str] = set()
+
+    def mutated_binding(name_node: ast.expr) -> Optional[str]:
+        """Qualified name of the module-level mutable this node aliases."""
+        if not isinstance(name_node, ast.Name):
+            return None
+        if name_node.id in written:
+            return None  # Shadowed by a local binding.
+        origin = index.resolve_binding_origin(module, name_node.id)
+        if origin is None:
+            return None
+        origin_module, origin_name = origin
+        if origin_name not in origin_module.mutable_globals:
+            return None
+        return f"{origin_module.name}.{origin_name}"
+
+    def report(node: ast.AST, code: str, message: str) -> None:
+        violations.append(
+            Violation(
+                path=info.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=RULES_BY_CODE[code],
+                message=message,
+            )
+        )
+
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Global):
+            names = [n for n in node.names if n in written]
+            fresh = [n for n in names if n not in reported_globals]
+            if fresh:
+                reported_globals.update(fresh)
+                report(
+                    node,
+                    "RPL130",
+                    f"{info.qualname} writes module global(s) "
+                    f"{', '.join(fresh)} but is reachable from parallel "
+                    f"task entry {entry}; worker-process writes vanish "
+                    f"and inline writes leak across cells",
+                )
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            target = mutated_binding(node.value)
+            if target is not None and target not in reported_mutations:
+                reported_mutations.add(target)
+                report(
+                    node,
+                    "RPL131",
+                    f"{info.qualname} mutates module-level {target} but is "
+                    f"reachable from parallel task entry {entry}; pass "
+                    f"data in and return data out instead",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+            ):
+                target = mutated_binding(func.value)
+                if target is not None and target not in reported_mutations:
+                    reported_mutations.add(target)
+                    report(
+                        node,
+                        "RPL131",
+                        f"{info.qualname} calls .{func.attr}() on "
+                        f"module-level {target} but is reachable from "
+                        f"parallel task entry {entry}; pass data in and "
+                        f"return data out instead",
+                    )
+            callee = index.resolve_call_target(module, func)
+            if callee is not None:
+                callees.append(callee)
+    return violations, callees
+
+
+def run(
+    index: ProjectIndex, *, entry_points: Optional[Sequence[str]] = None
+) -> List[Violation]:
+    """Walk the call graph from every parallel submission site."""
+    violations: List[Violation] = []
+    visited: Set[str] = set()
+    queue: List[Tuple[FunctionInfo, str]] = []
+    for info, reason in find_entry_points(index, extra=entry_points):
+        queue.append((info, f"{info.qualname} ({reason})"))
+    while queue:
+        info, entry = queue.pop(0)
+        if info.qualname in visited:
+            continue
+        visited.add(info.qualname)
+        found, callees = _check_function(index, info, entry)
+        violations.extend(found)
+        for callee in callees:
+            if callee.qualname not in visited:
+                queue.append((callee, entry))
+    return violations

@@ -1,0 +1,424 @@
+"""RPL100/101/102 — the ``to_dict``/``from_dict`` round-trip contract.
+
+For every dataclass that defines both ``to_dict`` and ``from_dict``,
+prove (statically) that the pair round-trips:
+
+* **RPL100** — every dataclass field is emitted by ``to_dict`` (either
+  under its own key or through a ``for f in fields(self)`` catch-all);
+* **RPL101** — the key sets agree: ``to_dict`` never emits a key
+  ``from_dict`` cannot accept, and ``from_dict`` never reconstructs a
+  key ``to_dict`` cannot produce;
+* **RPL102** — the omit-when-empty convention is honoured safely: a key
+  emitted only conditionally must map to a field with a default (and
+  must not be unconditionally required by ``from_dict``), so the
+  omitted case still reconstructs.
+
+The analyser understands the two serializer idioms this codebase uses:
+
+1. **literal style** — ``return {"a": self.a, ...}`` (plus
+   ``out["k"] = v`` stores on a returned local), as in
+   ``MetricsWindow.to_dict``;
+2. **fields-loop style** — ``for f in fields(self): out[f.name] = ...``
+   with ``if f.name == "k"`` / ``if f.name in _GROUP`` dispatch
+   branches, as in ``SimStats.to_dict``; branch keys named by a
+   module-level constant collection are resolved through the project
+   index (the cross-module part).
+
+A serializer written some other way is skipped rather than guessed at —
+the pass reports only what it can prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.checker import Violation
+from repro.lint.project import ClassInfo, ModuleInfo, ProjectIndex
+from repro.lint.rules import RULES_BY_CODE
+
+
+@dataclass
+class _Emit:
+    """One key written by to_dict: where, and whether conditionally."""
+
+    lineno: int
+    col: int
+    conditional: bool
+
+
+@dataclass
+class _ToDictShape:
+    understood: bool = False
+    emitted: Dict[str, _Emit] = field(default_factory=dict)
+    catch_all: bool = False
+
+
+@dataclass
+class _FromDictShape:
+    understood: bool = False
+    accepts_all: bool = False
+    # Keys the method explicitly touches on the payload dict.
+    explicit: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # Subset of ``explicit`` read with a bare subscript (raises if absent).
+    required: Set[str] = field(default_factory=set)
+
+
+def _returned_dict_names(func: ast.FunctionDef) -> Set[str]:
+    """Local names returned by the function (candidates for out-dicts)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            names.add(node.value.id)
+    return names
+
+
+def _fields_loop_var(func: ast.FunctionDef) -> Optional[str]:
+    """Target name of a ``for f in fields(self)`` loop, if present."""
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.For) and isinstance(node.target, ast.Name)):
+            continue
+        call = node.iter
+        if not isinstance(call, ast.Call):
+            continue
+        callee = call.func
+        name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        if name == "fields":
+            return node.target.id
+    return None
+
+
+def _dispatch_keys(
+    index: ProjectIndex, module: ModuleInfo, test: ast.expr, loop_var: Optional[str]
+) -> Optional[List[str]]:
+    """Keys pinned by an ``f.name == "k"`` / ``f.name in GROUP`` test."""
+    if loop_var is None or not isinstance(test, ast.Compare):
+        return None
+    left = test.left
+    if not (
+        isinstance(left, ast.Attribute)
+        and left.attr == "name"
+        and isinstance(left.value, ast.Name)
+        and left.value.id == loop_var
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+    ):
+        return None
+    comparator = test.comparators[0]
+    if isinstance(test.ops[0], ast.Eq):
+        if isinstance(comparator, ast.Constant) and isinstance(comparator.value, str):
+            return [comparator.value]
+        return None
+    if isinstance(test.ops[0], ast.In):
+        return index.resolve_string_collection(module, comparator)
+    return None
+
+
+def _analyze_to_dict(
+    index: ProjectIndex, module: ModuleInfo, func: ast.FunctionDef
+) -> _ToDictShape:
+    shape = _ToDictShape()
+    out_names = _returned_dict_names(func)
+    loop_var = _fields_loop_var(func)
+
+    def record(key: str, node: ast.AST, conditional: bool) -> None:
+        previous = shape.emitted.get(key)
+        # An unconditional emit anywhere wins over a conditional one.
+        if previous is None or (previous.conditional and not conditional):
+            shape.emitted[key] = _Emit(
+                lineno=getattr(node, "lineno", func.lineno),
+                col=getattr(node, "col_offset", 0),
+                conditional=conditional,
+            )
+
+    def record_literal(node: ast.Dict, conditional: bool) -> None:
+        for key in node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                record(key.value, key, conditional)
+        shape.understood = True
+
+    def walk(statements: List[ast.stmt], pinned: Optional[List[str]], guarded: bool) -> None:
+        for stmt in statements:
+            if isinstance(stmt, ast.If):
+                keys = _dispatch_keys(index, module, stmt.test, loop_var)
+                if keys is not None:
+                    walk(stmt.body, keys, guarded)
+                    walk(stmt.orelse, pinned, guarded)
+                else:
+                    walk(stmt.body, pinned, True)
+                    walk(stmt.orelse, pinned, True)
+                continue
+            if isinstance(stmt, (ast.For, ast.While, ast.With, ast.Try)):
+                for body in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                    getattr(stmt, "finalbody", []),
+                ):
+                    walk(list(body), pinned, guarded)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(list(handler.body), pinned, True)
+                continue
+            if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Dict):
+                record_literal(stmt.value, guarded)
+                continue
+            if isinstance(stmt, ast.Assign):
+                if (
+                    len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id in out_names
+                    and isinstance(stmt.value, ast.Dict)
+                ):
+                    record_literal(stmt.value, guarded)
+                    continue
+                target = stmt.targets[0] if len(stmt.targets) == 1 else None
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in out_names
+                ):
+                    shape.understood = True
+                    key_node = target.slice
+                    if isinstance(key_node, ast.Constant) and isinstance(
+                        key_node.value, str
+                    ):
+                        record(key_node.value, target, guarded)
+                    elif (
+                        loop_var is not None
+                        and isinstance(key_node, ast.Attribute)
+                        and key_node.attr == "name"
+                        and isinstance(key_node.value, ast.Name)
+                        and key_node.value.id == loop_var
+                    ):
+                        if pinned is None:
+                            # ``out[f.name] = ...`` outside any name
+                            # dispatch: covers every remaining field.
+                            shape.catch_all = True
+                        else:
+                            for key in pinned:
+                                record(key, target, guarded)
+
+    walk(list(func.body), None, False)
+    return shape
+
+
+def _payload_aliases(func: ast.FunctionDef, param: str) -> Set[str]:
+    """Names aliasing the payload dict (``kwargs = dict(data)`` style)."""
+    aliases = {param}
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            target = node.targets[0].id
+            if target in aliases:
+                continue
+            value = node.value
+            source: Optional[str] = None
+            if isinstance(value, ast.Name):
+                source = value.id
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+                and len(value.args) == 1
+                and isinstance(value.args[0], ast.Name)
+            ):
+                source = value.args[0].id
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "copy"
+                and isinstance(value.func.value, ast.Name)
+            ):
+                source = value.func.value.id
+            if source in aliases:
+                aliases.add(target)
+                changed = True
+    return aliases
+
+
+def _membership_guard_keys(func: ast.FunctionDef, aliases: Set[str]) -> Set[str]:
+    """Keys tested with ``"k" in payload`` anywhere in the method."""
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        if (
+            len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.In, ast.NotIn))
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+            and isinstance(node.comparators[0], ast.Name)
+            and node.comparators[0].id in aliases
+        ):
+            keys.add(node.left.value)
+    return keys
+
+
+def _analyze_from_dict(func: ast.FunctionDef) -> _FromDictShape:
+    shape = _FromDictShape()
+    args = [a.arg for a in func.args.args]
+    # classmethod: (cls, data); tolerate a plain (data) staticmethod too.
+    param = args[1] if len(args) > 1 else (args[0] if args else None)
+    if param is None:
+        return shape
+    aliases = _payload_aliases(func, param)
+    guarded_keys = _membership_guard_keys(func, aliases)
+
+    def note(key: str, node: ast.AST, required: bool) -> None:
+        shape.explicit.setdefault(
+            key, (getattr(node, "lineno", func.lineno), getattr(node, "col_offset", 0))
+        )
+        if required and key not in guarded_keys:
+            shape.required.add(key)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id == "cls":
+                if any(kw.arg is None for kw in node.keywords):
+                    shape.accepts_all = True
+                shape.understood = True
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in ("get", "pop", "setdefault")
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id in aliases
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                # ``.get(k)``/``.pop(k)`` without a default still raise /
+                # return None; only a provided default makes it optional.
+                has_default = len(node.args) > 1
+                required = callee.attr == "pop" and not has_default
+                note(node.args[0].value, node.args[0], required)
+        elif isinstance(node, ast.Subscript):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                note(node.slice.value, node, isinstance(node.ctx, ast.Load))
+                shape.understood = True
+        elif isinstance(node, ast.Compare):
+            if (
+                len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.In, ast.NotIn))
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+                and isinstance(node.comparators[0], ast.Name)
+                and node.comparators[0].id in aliases
+            ):
+                note(node.left.value, node.left, False)
+                shape.understood = True
+    if shape.accepts_all:
+        shape.understood = True
+    return shape
+
+
+def _check_class(
+    index: ProjectIndex, module: ModuleInfo, cls: ClassInfo
+) -> List[Violation]:
+    to_dict = cls.methods.get("to_dict")
+    from_dict = cls.methods.get("from_dict")
+    if to_dict is None or from_dict is None or not cls.fields:
+        return []
+    emit = _analyze_to_dict(index, module, to_dict)
+    accept = _analyze_from_dict(from_dict)
+    if not emit.understood or not accept.understood:
+        return []
+    violations: List[Violation] = []
+
+    def report(code: str, lineno: int, col: int, message: str) -> None:
+        violations.append(
+            Violation(
+                path=module.path,
+                line=lineno,
+                col=col,
+                rule=RULES_BY_CODE[code],
+                message=message,
+            )
+        )
+
+    field_names = set(cls.fields)
+    emitted_keys = set(emit.emitted)
+    covered = emitted_keys | (field_names if emit.catch_all else set())
+    # ``cls(**payload)`` accepts exactly the dataclass fields; explicitly
+    # handled keys are accepted either way.
+    accepted = (field_names if accept.accepts_all else set()) | set(accept.explicit)
+
+    # RPL100: field never serialized.
+    for name, info in sorted(cls.fields.items()):
+        if name not in covered:
+            report(
+                "RPL100",
+                info.lineno,
+                0,
+                f"{cls.name}.{name} is never emitted by {cls.name}.to_dict; "
+                f"from_dict(to_dict(x)) silently drops it",
+            )
+
+    # RPL101: emitted but unacceptable / accepted but never produced.
+    for key, where in sorted(emit.emitted.items()):
+        if key not in accepted:
+            report(
+                "RPL101",
+                where.lineno,
+                where.col,
+                f"{cls.name}.to_dict emits key {key!r} that "
+                f"{cls.name}.from_dict cannot accept",
+            )
+    for key, (lineno, col) in sorted(accept.explicit.items()):
+        if key not in covered:
+            report(
+                "RPL101",
+                lineno,
+                col,
+                f"{cls.name}.from_dict handles key {key!r} that "
+                f"{cls.name}.to_dict never emits",
+            )
+
+    # RPL102: conditional emit must be reconstructible when omitted.
+    for key, where in sorted(emit.emitted.items()):
+        if not where.conditional:
+            continue
+        field = cls.fields.get(key)
+        if field is not None and not field.has_default:
+            report(
+                "RPL102",
+                where.lineno,
+                where.col,
+                f"{cls.name}.to_dict emits {key!r} conditionally but the "
+                f"field has no default; from_dict raises when it is omitted",
+            )
+        elif key in accept.required:
+            report(
+                "RPL102",
+                where.lineno,
+                where.col,
+                f"{cls.name}.to_dict emits {key!r} conditionally but "
+                f"{cls.name}.from_dict requires it unconditionally",
+            )
+    return violations
+
+
+def run(index: ProjectIndex) -> List[Violation]:
+    """Serialization-contract findings across the whole project."""
+    violations: List[Violation] = []
+    for module_name in sorted(index.modules):
+        module = index.modules[module_name]
+        for class_name in sorted(module.classes):
+            violations.extend(_check_class(index, module, module.classes[class_name]))
+    return violations

@@ -1,0 +1,338 @@
+"""State-version ratchet pass (RPL110/RPL111).
+
+The content-addressed store and the warm-snapshot cache trust
+``repro.store.STATE_VERSION`` to invalidate entries whenever simulation
+semantics change. This pass makes that contract checkable: a
+*watchlist* of identity-relevant shapes (dataclass field sets, the
+``WARMUP_INERT_FIELDS`` collection, the keys of the snapshot payload
+dict) is fingerprinted from the AST and compared against a checked-in
+fingerprint file.
+
+* Same recorded ``STATE_VERSION`` but a drifted shape → **RPL110**: the
+  author changed identity-relevant state without bumping the version.
+  The fix is to bump ``STATE_VERSION`` and regenerate; the escape hatch
+  for proven bit-identical refactors is regenerating without a bump —
+  which shows up as a fingerprint-file change in the PR diff.
+* Missing file, unknown format, or a recorded version that no longer
+  matches the code → **RPL111**: regenerate with
+  ``repro-lint --update-fingerprints`` and commit.
+
+The pass is a no-op when the version symbol is not part of the indexed
+tree (e.g. linting a directory that does not contain ``repro.store``),
+so ``repro-lint --project`` on arbitrary packages stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.checker import Violation
+from repro.lint.project import ProjectIndex
+from repro.lint.rules import RULES_BY_CODE
+
+FINGERPRINT_FORMAT = 1
+
+# The committed fingerprint file ships as package data next to this
+# module so the default works both from a checkout and an installed
+# package.
+DEFAULT_FINGERPRINTS_PATH = Path(__file__).resolve().parent.parent / "fingerprints.json"
+
+DEFAULT_VERSION_SYMBOL = "repro.store.STATE_VERSION"
+
+
+class WatchedEntity:
+    """One identity-relevant shape the ratchet fingerprints.
+
+    ``kind`` selects how ``target`` is interpreted:
+
+    * ``dataclass-fields`` — ``target`` is a class qualname; the
+      fingerprint is its sorted field-name list, minus any names in the
+      optional ``exclude`` string-collection constant (this is how
+      ``SimConfig`` is watched net of ``WARMUP_INERT_FIELDS``).
+    * ``string-collection`` — ``target`` is a module-level constant
+      qualname bound to a collection of string literals.
+    * ``snapshot-keys`` — ``target`` is a method qualname; the
+      fingerprint is the sorted set of constant keys in the dict
+      literals the method returns.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        kind: str,
+        target: str,
+        exclude: Optional[str] = None,
+    ) -> None:
+        if kind not in ("dataclass-fields", "string-collection", "snapshot-keys"):
+            raise ValueError(f"unknown watchlist kind {kind!r}")
+        self.key = key
+        self.kind = kind
+        self.target = target
+        self.exclude = exclude
+
+
+DEFAULT_WATCHLIST: Tuple[WatchedEntity, ...] = (
+    WatchedEntity(
+        key="SimConfig",
+        kind="dataclass-fields",
+        target="repro.sim.config.SimConfig",
+        exclude="repro.sim.runner.WARMUP_INERT_FIELDS",
+    ),
+    WatchedEntity(
+        key="SimStats",
+        kind="dataclass-fields",
+        target="repro.sim.stats.SimStats",
+    ),
+    WatchedEntity(
+        key="CoherenceStats",
+        kind="dataclass-fields",
+        target="repro.coherence.stats.CoherenceStats",
+    ),
+    WatchedEntity(
+        key="MetricsWindow",
+        kind="dataclass-fields",
+        target="repro.obs.series.MetricsWindow",
+    ),
+    WatchedEntity(
+        key="MetricsSeries",
+        kind="dataclass-fields",
+        target="repro.obs.series.MetricsSeries",
+    ),
+    WatchedEntity(
+        key="WARMUP_INERT_FIELDS",
+        kind="string-collection",
+        target="repro.sim.runner.WARMUP_INERT_FIELDS",
+    ),
+    WatchedEntity(
+        key="SimulatedSystem.snapshot",
+        kind="snapshot-keys",
+        target="repro.sim.system.SimulatedSystem.snapshot",
+    ),
+)
+
+
+def _returned_dict_keys(method: ast.FunctionDef) -> List[str]:
+    """Sorted constant keys across every dict literal the method returns."""
+    keys: List[str] = []
+    for node in ast.walk(method):
+        if not (isinstance(node, ast.Return) and isinstance(node.value, ast.Dict)):
+            continue
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+    return sorted(set(keys))
+
+
+class _Location:
+    """Where a fingerprint entity lives, for anchoring findings."""
+
+    def __init__(self, path: str, line: int) -> None:
+        self.path = path
+        self.line = line
+
+
+def _fingerprint_entity(
+    index: ProjectIndex, entity: WatchedEntity
+) -> Optional[Tuple[List[str], _Location]]:
+    """The entity's current shape, or None if it is not in the index."""
+    if entity.kind == "dataclass-fields":
+        cls = index.find_class(entity.target)
+        if cls is None:
+            return None
+        names = sorted(cls.fields)
+        if entity.exclude is not None:
+            located = index.find_constant(entity.exclude)
+            if located is not None:
+                module, value = located
+                excluded = index.resolve_string_collection(module, value)
+                if excluded is not None:
+                    names = [n for n in names if n not in set(excluded)]
+        return names, _Location(cls.path, cls.lineno)
+    if entity.kind == "string-collection":
+        located = index.find_constant(entity.target)
+        if located is None:
+            return None
+        module, value = located
+        members = index.resolve_string_collection(module, value)
+        if members is None:
+            return None
+        return sorted(set(members)), _Location(module.path, value.lineno)
+    # snapshot-keys
+    found = index.find_method(entity.target)
+    if found is None:
+        return None
+    cls, method = found
+    return _returned_dict_keys(method), _Location(cls.path, method.lineno)
+
+
+def _current_version(
+    index: ProjectIndex, version_symbol: str
+) -> Optional[Tuple[int, _Location]]:
+    located = index.find_constant(version_symbol)
+    if located is None:
+        return None
+    module, value = located
+    if isinstance(value, ast.Constant) and isinstance(value.value, int):
+        return value.value, _Location(module.path, value.lineno)
+    return None
+
+
+def compute_fingerprints(
+    index: ProjectIndex,
+    *,
+    watchlist: Optional[Sequence[WatchedEntity]] = None,
+    version_symbol: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """The fingerprint document for the current tree (None: no version)."""
+    watchlist = DEFAULT_WATCHLIST if watchlist is None else watchlist
+    version_symbol = version_symbol or DEFAULT_VERSION_SYMBOL
+    version = _current_version(index, version_symbol)
+    if version is None:
+        return None
+    entities: Dict[str, List[str]] = {}
+    for entity in watchlist:
+        result = _fingerprint_entity(index, entity)
+        if result is not None:
+            entities[entity.key] = result[0]
+    return {
+        "format": FINGERPRINT_FORMAT,
+        "version_symbol": version_symbol,
+        "state_version": version[0],
+        "entities": entities,
+    }
+
+
+def update_fingerprints(
+    index: ProjectIndex,
+    path: Path,
+    *,
+    watchlist: Optional[Sequence[WatchedEntity]] = None,
+    version_symbol: Optional[str] = None,
+) -> Optional[Dict[str, Any]]:
+    """Write the current fingerprints to ``path``; returns the document."""
+    document = compute_fingerprints(
+        index, watchlist=watchlist, version_symbol=version_symbol
+    )
+    if document is None:
+        return None
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def _diff_message(key: str, recorded: List[str], current: List[str]) -> str:
+    added = sorted(set(current) - set(recorded))
+    removed = sorted(set(recorded) - set(current))
+    parts: List[str] = []
+    if added:
+        parts.append("added " + ", ".join(added))
+    if removed:
+        parts.append("removed " + ", ".join(removed))
+    detail = "; ".join(parts) if parts else "shape changed"
+    return (
+        f"identity-relevant shape of {key} changed ({detail}) without a "
+        f"STATE_VERSION bump; bump it, or regenerate fingerprints via "
+        f"repro-lint --update-fingerprints if provably bit-identical"
+    )
+
+
+def run(
+    index: ProjectIndex,
+    *,
+    fingerprints_path: Optional[Path] = None,
+    watchlist: Optional[Sequence[WatchedEntity]] = None,
+    version_symbol: Optional[str] = None,
+) -> List[Violation]:
+    """Compare the current tree against the checked-in fingerprints."""
+    watchlist = DEFAULT_WATCHLIST if watchlist is None else watchlist
+    version_symbol = version_symbol or DEFAULT_VERSION_SYMBOL
+    fingerprints_path = (
+        DEFAULT_FINGERPRINTS_PATH if fingerprints_path is None else fingerprints_path
+    )
+    version = _current_version(index, version_symbol)
+    if version is None:
+        # The version symbol is not part of this tree: nothing to ratchet.
+        return []
+    current_version, version_loc = version
+
+    def stale(message: str) -> List[Violation]:
+        return [
+            Violation(
+                path=version_loc.path,
+                line=version_loc.line,
+                col=0,
+                rule=RULES_BY_CODE["RPL111"],
+                message=message,
+            )
+        ]
+
+    if not fingerprints_path.is_file():
+        return stale(
+            f"fingerprint file {fingerprints_path} is missing; run "
+            f"repro-lint --update-fingerprints and commit the result"
+        )
+    try:
+        recorded = json.loads(fingerprints_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return stale(
+            f"fingerprint file {fingerprints_path} is unreadable; "
+            f"regenerate with repro-lint --update-fingerprints"
+        )
+    if (
+        not isinstance(recorded, dict)
+        or recorded.get("format") != FINGERPRINT_FORMAT
+        or not isinstance(recorded.get("entities"), dict)
+    ):
+        return stale(
+            f"fingerprint file {fingerprints_path} has an unknown format; "
+            f"regenerate with repro-lint --update-fingerprints"
+        )
+    if recorded.get("state_version") != current_version:
+        return stale(
+            f"fingerprints record STATE_VERSION "
+            f"{recorded.get('state_version')!r} but the code is at "
+            f"{current_version}; regenerate with "
+            f"repro-lint --update-fingerprints and commit"
+        )
+
+    violations: List[Violation] = []
+    recorded_entities: Dict[str, List[str]] = recorded["entities"]
+    seen_keys = set()
+    for entity in watchlist:
+        result = _fingerprint_entity(index, entity)
+        if result is None:
+            continue
+        current_shape, location = result
+        seen_keys.add(entity.key)
+        if entity.key not in recorded_entities:
+            violations.extend(
+                stale(
+                    f"watched entity {entity.key} has no recorded "
+                    f"fingerprint; regenerate with "
+                    f"repro-lint --update-fingerprints"
+                )
+            )
+            continue
+        recorded_shape = list(recorded_entities[entity.key])
+        if recorded_shape != current_shape:
+            violations.append(
+                Violation(
+                    path=location.path,
+                    line=location.line,
+                    col=0,
+                    rule=RULES_BY_CODE["RPL110"],
+                    message=_diff_message(entity.key, recorded_shape, current_shape),
+                )
+            )
+    for key in sorted(set(recorded_entities) - seen_keys):
+        violations.extend(
+            stale(
+                f"fingerprint entry {key} no longer matches any watched "
+                f"entity; regenerate with repro-lint --update-fingerprints"
+            )
+        )
+    return violations

@@ -1,0 +1,451 @@
+"""Project-aware layer under the cross-module lint passes.
+
+A :class:`ProjectIndex` parses every Python file under the given paths
+once and builds:
+
+* a **module table** — dotted module names (derived from the package
+  structure on disk) to :class:`ModuleInfo`, each carrying the parsed
+  tree, import aliases, top-level classes/functions and module-level
+  constant bindings;
+* an **import graph** — project-internal edges only, for passes that
+  reason about reachability across modules;
+* **symbol resolution** — ``find_class("repro.sim.stats.SimStats")``,
+  ``find_function``, ``find_method``, ``find_constant``, plus
+  call-target resolution that follows ``from x import y`` aliases so a
+  pass can walk from a call site in one module to the definition in
+  another.
+
+Everything is derived deterministically from sorted file walks, so two
+runs over the same tree produce identical indices (and therefore
+identical reports — the same property the line-local checker has).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.checker import iter_python_files
+
+# Mutable constructors recognised when classifying module-level bindings
+# (the parallel-purity pass flags mutations of these from task code).
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "OrderedDict",
+    "defaultdict",
+    "Counter",
+    "deque",
+}
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One dataclass field: name, whether it can be omitted on init."""
+
+    name: str
+    has_default: bool
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition inside a module."""
+
+    name: str
+    qualname: str
+    module_name: str
+    path: str
+    node: ast.ClassDef
+    is_dataclass: bool
+    fields: Dict[str, FieldInfo] = field(default_factory=dict)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function definition inside a module."""
+
+    name: str
+    qualname: str
+    module_name: str
+    path: str
+    node: ast.FunctionDef
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its locally-resolvable names."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    # ``import x.y as z`` -> {"z": "x.y"}; plain ``import x.y`` -> {"x": "x"}.
+    imports: Dict[str, str] = field(default_factory=dict)
+    # ``from x.y import f as g`` -> {"g": ("x.y", "f")}.
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    # Module-level ``NAME = <expr>`` bindings (last assignment wins).
+    constants: Dict[str, ast.expr] = field(default_factory=dict)
+    # Subset of ``constants`` bound to a known-mutable container.
+    mutable_globals: Dict[str, int] = field(default_factory=dict)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id == "ClassVar"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return False
+
+
+def _field_has_default(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "field"
+    ):
+        return any(kw.arg in ("default", "default_factory") for kw in value.keywords)
+    return True
+
+
+def _is_mutable_binding(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def _class_info(module: "ModuleInfo", node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name,
+        qualname=f"{module.name}.{node.name}",
+        module_name=module.name,
+        path=module.path,
+        node=node,
+        is_dataclass=_is_dataclass_decorated(node),
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(stmt, ast.FunctionDef):
+                info.methods[stmt.name] = stmt
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _is_classvar(stmt.annotation):
+                continue
+            info.fields[stmt.target.id] = FieldInfo(
+                name=stmt.target.id,
+                has_default=_field_has_default(stmt.value),
+                lineno=stmt.lineno,
+            )
+    return info
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name derived from the package structure on disk.
+
+    Walks up from the file while ``__init__.py`` siblings exist, so
+    ``src/repro/sim/stats.py`` maps to ``repro.sim.stats`` regardless of
+    where the lint was invoked from. A file outside any package keeps
+    its bare stem.
+    """
+    path = os.path.abspath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[: -len(".py")] if filename.endswith(".py") else filename
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+class ProjectIndex:
+    """Symbol tables and the import graph over one set of source paths."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, paths: Sequence[str]) -> "ProjectIndex":
+        """Parse every .py file under ``paths`` into an index.
+
+        Files that fail to parse raise ``ValueError`` (same contract as
+        :func:`repro.lint.checker.lint_file`): a syntactically broken
+        module would otherwise silently drop whole-program findings.
+        """
+        index = cls()
+        for path in iter_python_files(paths):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                raise ValueError(f"{path}: cannot parse: {exc}") from exc
+            index._add_module(path, source, tree)
+        return index
+
+    def _add_module(self, path: str, source: str, tree: ast.Module) -> None:
+        module = ModuleInfo(
+            name=module_name_for(path), path=path, source=source, tree=tree
+        )
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        # ``import x.y`` binds the root package name.
+                        root = alias.name.split(".")[0]
+                        module.imports[root] = root
+            elif isinstance(stmt, ast.ImportFrom):
+                origin = self._from_origin(module.name, stmt)
+                if origin is None:
+                    continue
+                for alias in stmt.names:
+                    module.from_imports[alias.asname or alias.name] = (
+                        origin,
+                        alias.name,
+                    )
+            elif isinstance(stmt, ast.ClassDef):
+                module.classes[stmt.name] = _class_info(module, stmt)
+            elif isinstance(stmt, ast.FunctionDef):
+                module.functions[stmt.name] = FunctionInfo(
+                    name=stmt.name,
+                    qualname=f"{module.name}.{stmt.name}",
+                    module_name=module.name,
+                    path=path,
+                    node=stmt,
+                )
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module.constants[target.id] = stmt.value
+                        if _is_mutable_binding(stmt.value):
+                            module.mutable_globals[target.id] = stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.value is not None:
+                    module.constants[stmt.target.id] = stmt.value
+                    if _is_mutable_binding(stmt.value):
+                        module.mutable_globals[stmt.target.id] = stmt.lineno
+        self.modules[module.name] = module
+
+    @staticmethod
+    def _from_origin(module_name: str, node: ast.ImportFrom) -> Optional[str]:
+        """Absolute origin module of a ``from ... import`` statement."""
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against this module's package.
+        parts = module_name.split(".")
+        # ``from . import x`` inside pkg.sub strips one level for the
+        # module itself, plus (level - 1) further packages.
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    # ------------------------------------------------------------------
+    # Import graph.
+    # ------------------------------------------------------------------
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """module name -> project-internal modules it imports."""
+        graph: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for name, module in self.modules.items():
+            edges = graph[name]
+            for target in module.imports.values():
+                resolved = self._closest_module(target)
+                if resolved is not None and resolved != name:
+                    edges.add(resolved)
+            for origin, symbol in module.from_imports.values():
+                # ``from pkg import module`` names a module, not a symbol.
+                resolved = self._closest_module(f"{origin}.{symbol}")
+                if resolved is None:
+                    resolved = self._closest_module(origin)
+                if resolved is not None and resolved != name:
+                    edges.add(resolved)
+        return graph
+
+    def _closest_module(self, dotted: Optional[str]) -> Optional[str]:
+        """The longest indexed module that prefixes ``dotted``."""
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Symbol resolution.
+    # ------------------------------------------------------------------
+
+    def _split(self, qualname: str) -> Optional[Tuple[ModuleInfo, List[str]]]:
+        module_name = self._closest_module(qualname)
+        if module_name is None:
+            return None
+        rest = qualname[len(module_name) :].lstrip(".")
+        return self.modules[module_name], rest.split(".") if rest else []
+
+    def find_class(self, qualname: str) -> Optional[ClassInfo]:
+        located = self._split(qualname)
+        if located is None:
+            return None
+        module, rest = located
+        if len(rest) != 1:
+            return None
+        return module.classes.get(rest[0])
+
+    def find_function(self, qualname: str) -> Optional[FunctionInfo]:
+        located = self._split(qualname)
+        if located is None:
+            return None
+        module, rest = located
+        if len(rest) != 1:
+            return None
+        # Follow one level of re-export (``from x import f`` in __init__).
+        info = module.functions.get(rest[0])
+        if info is not None:
+            return info
+        target = module.from_imports.get(rest[0])
+        if target is not None:
+            return self.find_function(f"{target[0]}.{target[1]}")
+        return None
+
+    def find_method(self, qualname: str) -> Optional[Tuple[ClassInfo, ast.FunctionDef]]:
+        located = self._split(qualname)
+        if located is None:
+            return None
+        module, rest = located
+        if len(rest) != 2:
+            return None
+        cls = module.classes.get(rest[0])
+        if cls is None:
+            return None
+        method = cls.methods.get(rest[1])
+        if method is None:
+            return None
+        return cls, method
+
+    def find_constant(self, qualname: str) -> Optional[Tuple[ModuleInfo, ast.expr]]:
+        located = self._split(qualname)
+        if located is None:
+            return None
+        module, rest = located
+        if len(rest) != 1:
+            return None
+        value = module.constants.get(rest[0])
+        if value is None:
+            return None
+        return module, value
+
+    def resolve_call_target(
+        self, module: ModuleInfo, func: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """The project function a call expression targets, if resolvable.
+
+        Handles direct names (local defs and ``from x import f`` aliases)
+        and one-level attribute access on an imported module
+        (``runner.parallel_map``). Methods, constructors and anything
+        dynamic resolve to ``None``.
+        """
+        if isinstance(func, ast.Name):
+            local = module.functions.get(func.id)
+            if local is not None:
+                return local
+            target = module.from_imports.get(func.id)
+            if target is not None:
+                return self.find_function(f"{target[0]}.{target[1]}")
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            origin = module.imports.get(func.value.id)
+            if origin is None:
+                imported = module.from_imports.get(func.value.id)
+                if imported is not None:
+                    origin = f"{imported[0]}.{imported[1]}"
+            if origin is not None:
+                return self.find_function(f"{origin}.{func.attr}")
+        return None
+
+    def resolve_binding_origin(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[Tuple[ModuleInfo, str]]:
+        """Where a module-level name is actually bound, following imports."""
+        if name in module.constants:
+            return module, name
+        target = module.from_imports.get(name)
+        if target is not None:
+            origin_module = self.modules.get(target[0])
+            if origin_module is not None and target[1] in origin_module.constants:
+                return origin_module, target[1]
+        return None
+
+    def resolve_string_collection(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> Optional[List[str]]:
+        """Constant strings behind a literal/constructor/named collection.
+
+        Understands set/tuple/list literals, ``frozenset({...})`` style
+        wrapping, dict literals (their keys), and ``Name`` references to
+        module-level constants (followed through from-imports). Returns
+        ``None`` when any element is not a string constant.
+        """
+        if isinstance(node, ast.Name):
+            origin = self.resolve_binding_origin(module, node.id)
+            if origin is None:
+                return None
+            origin_module, origin_name = origin
+            return self.resolve_string_collection(
+                origin_module, origin_module.constants[origin_name]
+            )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "set", "tuple", "list")
+            and len(node.args) == 1
+        ):
+            return self.resolve_string_collection(module, node.args[0])
+        elements: List[ast.expr]
+        if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+            elements = list(node.elts)
+        elif isinstance(node, ast.Dict):
+            elements = [key for key in node.keys if key is not None]
+        else:
+            return None
+        out: List[str] = []
+        for element in elements:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            out.append(element.value)
+        return out

@@ -1,0 +1,166 @@
+"""Whole-program lint entry points: index build, passes, suppressions.
+
+:func:`lint_project` is the project-mode twin of
+:func:`repro.lint.checker.lint_paths`: build a
+:class:`~repro.lint.project.ProjectIndex` over the paths, run the four
+cross-module passes, then apply the same same-line
+``# repro-lint: disable=CODE`` suppression convention the line-local
+checker uses — anchored at each finding's *reported* line. RPL000
+(bad suppression tokens) is deliberately **not** re-reported here: the
+line-local checker already owns that rule, and project mode is meant to
+compose with it, not duplicate its output.
+
+The baseline helpers implement CI's ratchet mode: a committed baseline
+records pre-existing ``(code, path)`` findings, and only findings *not*
+covered by the baseline fail the build — so the catalogue can grow
+without a flag day, while new regressions are still caught.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.checker import Violation, suppressions_for
+from repro.lint.passes import run_project_passes
+from repro.lint.passes.state_version import WatchedEntity
+from repro.lint.project import ProjectIndex
+
+BASELINE_FORMAT = 1
+
+
+def lint_project(
+    paths: Sequence[str],
+    *,
+    fingerprints_path: Optional[Path] = None,
+    watchlist: Optional[Sequence[WatchedEntity]] = None,
+    version_symbol: Optional[str] = None,
+    entry_points: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Cross-module findings over ``paths``, suppression-filtered, sorted."""
+    index = ProjectIndex.build(paths)
+    return lint_index(
+        index,
+        fingerprints_path=fingerprints_path,
+        watchlist=watchlist,
+        version_symbol=version_symbol,
+        entry_points=entry_points,
+    )
+
+
+def lint_index(
+    index: ProjectIndex,
+    *,
+    fingerprints_path: Optional[Path] = None,
+    watchlist: Optional[Sequence[WatchedEntity]] = None,
+    version_symbol: Optional[str] = None,
+    entry_points: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Like :func:`lint_project` over an already-built index."""
+    raw = run_project_passes(
+        index,
+        fingerprints_path=fingerprints_path,
+        watchlist=watchlist,
+        version_symbol=version_symbol,
+        entry_points=entry_points,
+    )
+    tables: Dict[str, Dict[int, Set[str]]] = {}
+    for module in index.modules.values():
+        table, _bad = suppressions_for(module.source, module.path)
+        tables[module.path] = table
+    kept: List[Violation] = []
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+    for violation in raw:
+        table = tables.get(violation.path, {})
+        if violation.rule.code in table.get(violation.line, set()):
+            continue
+        key = (
+            violation.path,
+            violation.line,
+            violation.col,
+            violation.rule.code,
+            violation.message,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule.code))
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet.
+# ----------------------------------------------------------------------
+
+
+def _normalize_path(path: str) -> str:
+    """Invocation-independent form of a finding path for baseline keys."""
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path)
+        except ValueError:  # pragma: no cover - different drive on win32
+            pass
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Record current findings as the accepted pre-existing set."""
+    entries = sorted(
+        {
+            (v.rule.code, _normalize_path(v.path), v.message)
+            for v in violations
+        }
+    )
+    document = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"code": code, "path": norm, "message": message}
+            for code, norm, message in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path) -> Set[Tuple[str, str]]:
+    """The accepted ``(code, path)`` pairs from a baseline file.
+
+    Raises ``ValueError`` on an unreadable or unknown-format file — a
+    broken baseline must fail CI loudly, not silently accept everything.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: cannot read baseline: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != BASELINE_FORMAT
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(f"{path}: unknown baseline format")
+    accepted: Set[Tuple[str, str]] = set()
+    for entry in document["findings"]:
+        if isinstance(entry, dict) and "code" in entry and "path" in entry:
+            accepted.add((str(entry["code"]), str(entry["path"])))
+    return accepted
+
+
+def filter_baseline(
+    violations: Sequence[Violation], accepted: Set[Tuple[str, str]]
+) -> List[Violation]:
+    """Only the findings not covered by the baseline (the *new* ones).
+
+    Matching is by ``(code, normalized path)``: coarser than exact
+    line/message so pre-existing findings survive unrelated edits to the
+    same file, which is what a ratchet wants — fail only on a rule
+    firing somewhere it never fired before.
+    """
+    return [
+        v
+        for v in violations
+        if (v.rule.code, _normalize_path(v.path)) not in accepted
+    ]

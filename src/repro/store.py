@@ -106,7 +106,11 @@ def get_store() -> Optional["ResultStore"]:
     re-resolved when the environment changes (tests repoint the store
     mid-process via monkeypatch).
     """
-    global _store, _store_root
+    # Safe under parallel_map: the memo is idempotent per process (keyed
+    # only by the REPRO_STORE environment each worker inherits), and the
+    # store itself is content-addressed on disk — workers never need to
+    # see each other's in-memory handle.
+    global _store, _store_root  # repro-lint: disable=RPL130; per-process env-keyed memo, idempotent
     root = store_root()
     if root is None:
         _store, _store_root = None, None
@@ -173,7 +177,9 @@ class ResultStore:
         return None
 
     @staticmethod
-    def _check_result(payload, key: str, app: str, config_dict: dict) -> Optional[str]:
+    def _check_result(
+        payload: object, key: str, app: str, config_dict: dict
+    ) -> Optional[str]:
         if not isinstance(payload, dict):
             return "corrupt entry (not a JSON object)"
         if payload.get("state_version") != STATE_VERSION:
@@ -243,7 +249,9 @@ class ResultStore:
         return None
 
     @staticmethod
-    def _check_snapshot(payload, key: str, app: str, fingerprint: dict) -> Optional[str]:
+    def _check_snapshot(
+        payload: object, key: str, app: str, fingerprint: dict
+    ) -> Optional[str]:
         if not isinstance(payload, dict):
             return "corrupt entry (not a dict)"
         if payload.get("state_version") != STATE_VERSION:

@@ -1,0 +1,111 @@
+"""The repro-lint CLI in project mode: flags, exit codes, ratchet."""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import main
+
+from tests.lint.test_project import write_package
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_HAZARD_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/filt.py": """
+        class Filter:
+            def __init__(self):
+                self._plan_cache = {}
+                self._plan_epoch = 0
+
+            def plan(self, key):
+                return self._plan_cache.get(key)
+    """,
+}
+
+
+def test_project_mode_on_the_repo_is_clean_and_exits_zero(capsys):
+    assert main(["--project", str(SRC)]) == 0
+
+
+def test_project_mode_reports_hazard_with_exit_one(tmp_path, capsys):
+    root = write_package(tmp_path, _HAZARD_TREE)
+    assert main(["--project", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL120" in out and "filt.py" in out
+
+
+def test_project_json_report_is_machine_readable(tmp_path, capsys):
+    root = write_package(tmp_path, _HAZARD_TREE)
+    assert main(["--project", "--json", str(root)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["code"] for entry in payload] == ["RPL120"]
+    assert payload[0]["path"].endswith("filt.py")
+    assert payload[0]["line"] == 8
+
+
+def test_baseline_ratchet_accepts_old_findings_and_catches_new(tmp_path, capsys):
+    root = write_package(tmp_path, _HAZARD_TREE)
+    baseline = tmp_path / "baseline.json"
+    # Record the pre-existing finding...
+    assert main(["--project", str(root), "--baseline", str(baseline), "--write-baseline"]) == 0
+    # ...after which the same tree passes under the ratchet...
+    capsys.readouterr()
+    assert main(["--project", str(root), "--baseline", str(baseline)]) == 0
+    # ...but a finding in a *new* location still fails.
+    write_package(
+        tmp_path,
+        {
+            "pkg/other.py": """
+                class Cache:
+                    def __init__(self):
+                        self._row_cache = {}
+                        self._row_epoch = 0
+
+                    def row(self, key):
+                        return self._row_cache.get(key)
+            """,
+        },
+    )
+    assert main(["--project", str(root), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "other.py" in out and "filt.py" not in out
+
+
+def test_corrupt_baseline_fails_loudly(tmp_path, capsys):
+    root = write_package(tmp_path, _HAZARD_TREE)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{}", encoding="utf-8")
+    assert main(["--project", str(root), "--baseline", str(baseline)]) == 2
+
+
+def test_update_fingerprints_writes_stable_file(tmp_path, capsys):
+    target = tmp_path / "fp.json"
+    assert main(["--update-fingerprints", "--fingerprints", str(target), str(SRC)]) == 0
+    first = target.read_bytes()
+    document = json.loads(first)
+    assert document["state_version"] >= 1
+    assert "SimConfig" in document["entities"]
+    # Regenerating is byte-stable — the CI dirty-tree guard depends on it.
+    assert main(["--update-fingerprints", "--fingerprints", str(target), str(SRC)]) == 0
+    assert target.read_bytes() == first
+
+
+def test_update_fingerprints_matches_committed_file(capsys):
+    committed = SRC / "repro" / "lint" / "fingerprints.json"
+    assert committed.is_file()
+    # What --update-fingerprints would write for the current tree is
+    # exactly what is committed (same check CI's dirty-tree guard runs).
+    from repro.lint.passes.state_version import compute_fingerprints
+    from repro.lint import ProjectIndex
+
+    document = compute_fingerprints(ProjectIndex.build([str(SRC)]))
+    assert (
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+        == committed.read_text(encoding="utf-8")
+    )
+
+
+def test_line_local_mode_unchanged_without_project_flag(tmp_path, capsys):
+    root = write_package(tmp_path, _HAZARD_TREE)
+    # The memo hazard is a project rule: plain mode stays quiet on it.
+    assert main([str(root)]) == 0

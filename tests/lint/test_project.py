@@ -1,0 +1,128 @@
+"""The project layer itself: index construction on a synthetic package.
+
+These tests build a real package on disk (so ``module_name_for`` walks
+actual ``__init__.py`` files) and check the symbol tables, the import
+graph, alias-following resolution and the cross-module constant
+resolver the passes depend on.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ProjectIndex
+from repro.lint.project import module_name_for
+
+
+def write_package(root: Path, files: dict) -> Path:
+    """Write ``files`` (relative path -> source) under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def synthetic(tmp_path):
+    return write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": """
+                from pkg.core import helper
+            """,
+            "pkg/consts.py": """
+                GROUP = frozenset({"alpha", "beta"})
+                SHARED = {"k": 1}
+                LIMIT = 7
+            """,
+            "pkg/core.py": """
+                from dataclasses import dataclass, field
+
+                from pkg.consts import GROUP
+                from pkg import consts
+
+
+                @dataclass
+                class Record:
+                    plain: int
+                    defaulted: int = 0
+                    factory: list = field(default_factory=list)
+
+
+                def helper(x):
+                    return consts.LIMIT + x
+            """,
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/leaf.py": """
+                from ..consts import GROUP as RENAMED
+
+
+                def uses_group():
+                    return RENAMED
+            """,
+        },
+    )
+
+
+def test_module_names_follow_package_structure(synthetic):
+    index = ProjectIndex.build([str(synthetic)])
+    assert set(index.modules) == {
+        "pkg",
+        "pkg.consts",
+        "pkg.core",
+        "pkg.sub",
+        "pkg.sub.leaf",
+    }
+    assert module_name_for(str(synthetic / "pkg/sub/leaf.py")) == "pkg.sub.leaf"
+
+
+def test_import_graph_edges(synthetic):
+    graph = ProjectIndex.build([str(synthetic)]).import_graph()
+    assert "pkg.core" in graph["pkg"]  # from pkg.core import helper
+    assert "pkg.consts" in graph["pkg.core"]
+    # Relative import resolves against the importing package.
+    assert "pkg.consts" in graph["pkg.sub.leaf"]
+    assert graph["pkg.consts"] == set()
+
+
+def test_find_class_fields_and_defaults(synthetic):
+    index = ProjectIndex.build([str(synthetic)])
+    record = index.find_class("pkg.core.Record")
+    assert record is not None and record.is_dataclass
+    assert sorted(record.fields) == ["defaulted", "factory", "plain"]
+    assert not record.fields["plain"].has_default
+    assert record.fields["defaulted"].has_default
+    assert record.fields["factory"].has_default  # field(default_factory=...)
+
+
+def test_find_function_follows_reexport(synthetic):
+    index = ProjectIndex.build([str(synthetic)])
+    direct = index.find_function("pkg.core.helper")
+    via_init = index.find_function("pkg.helper")
+    assert direct is not None
+    assert via_init is not None and via_init.qualname == "pkg.core.helper"
+
+
+def test_find_constant_and_mutable_globals(synthetic):
+    index = ProjectIndex.build([str(synthetic)])
+    assert index.find_constant("pkg.consts.LIMIT") is not None
+    assert "SHARED" in index.modules["pkg.consts"].mutable_globals
+    assert "LIMIT" not in index.modules["pkg.consts"].mutable_globals
+
+
+def test_resolve_string_collection_across_modules(synthetic):
+    index = ProjectIndex.build([str(synthetic)])
+    leaf = index.modules["pkg.sub.leaf"]
+    func = leaf.functions["uses_group"].node
+    returned = func.body[0].value  # the RENAMED name node
+    resolved = index.resolve_string_collection(leaf, returned)
+    assert sorted(resolved) == ["alpha", "beta"]
+
+
+def test_syntax_error_raises(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="cannot parse"):
+        ProjectIndex.build([str(bad)])

@@ -1,0 +1,417 @@
+"""Drifted-fixture coverage for the cross-module passes.
+
+Each fixture is a tiny on-disk package with one deliberate contract
+violation; the matching pass must fire with the right code, and the
+repaired twin must stay quiet.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_project
+
+from tests.lint.test_project import write_package
+
+
+def project_codes(root: Path):
+    return [(v.rule.code, Path(v.path).name, v.line) for v in lint_project([str(root)])]
+
+
+def only_codes(root: Path):
+    return [code for code, _name, _line in project_codes(root)]
+
+
+# ----------------------------------------------------------------------
+# Serialization contract (RPL100/101/102).
+# ----------------------------------------------------------------------
+
+
+def test_serialization_clean_literal_style(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Point:
+                    x: int
+                    y: int
+
+                    def to_dict(self):
+                        return {"x": self.x, "y": self.y}
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(**data)
+            """,
+        },
+    )
+    assert only_codes(tmp_path) == []
+
+
+def test_serialization_missing_field_fires(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Point:
+                    x: int
+                    y: int
+
+                    def to_dict(self):
+                        return {"x": self.x}
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(**data)
+            """,
+        },
+    )
+    findings = project_codes(tmp_path)
+    assert ("RPL100", "model.py", 8) in findings  # the y field's line
+
+
+def test_serialization_asymmetric_key_fires_both_ways(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Point:
+                    x: int
+
+                    def to_dict(self):
+                        return {"x": self.x, "legacy": 0}
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(**data)
+            """,
+        },
+    )
+    # "legacy" is emitted but cls(**data) only accepts dataclass fields.
+    assert "RPL101" in only_codes(tmp_path)
+
+
+def test_serialization_reconstructed_but_never_emitted(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Point:
+                    x: int
+
+                    def to_dict(self):
+                        return {"x": self.x}
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(x=data["x"] + data["ghost"])
+            """,
+        },
+    )
+    assert "RPL101" in only_codes(tmp_path)
+
+
+def test_serialization_omit_when_empty_violation(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Stats:
+                    count: int
+                    extras: dict
+
+                    def to_dict(self):
+                        out = {"count": self.count}
+                        if self.extras:
+                            out["extras"] = self.extras
+                        return out
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(**data)
+            """,
+        },
+    )
+    # extras is emitted only when truthy but has no default: the omitted
+    # case cannot reconstruct.
+    assert "RPL102" in only_codes(tmp_path)
+
+
+def test_serialization_omit_when_empty_with_default_is_clean(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/model.py": """
+                from dataclasses import dataclass, field
+
+
+                @dataclass
+                class Stats:
+                    count: int
+                    extras: dict = field(default_factory=dict)
+
+                    def to_dict(self):
+                        out = {"count": self.count}
+                        if self.extras:
+                            out["extras"] = self.extras
+                        return out
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        return cls(**data)
+            """,
+        },
+    )
+    assert only_codes(tmp_path) == []
+
+
+def test_serialization_fields_loop_with_cross_module_dispatch(tmp_path):
+    """The SimStats idiom: fields(self) loop, constant-collection branch."""
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/keys.py": """
+                SPECIAL = frozenset({"tagged"})
+            """,
+            "pkg/model.py": """
+                from dataclasses import dataclass, fields
+
+                from pkg.keys import SPECIAL
+
+
+                @dataclass
+                class Stats:
+                    plain: int
+                    tagged: dict
+
+                    def to_dict(self):
+                        out = {}
+                        for f in fields(self):
+                            value = getattr(self, f.name)
+                            if f.name in SPECIAL:
+                                out[f.name] = dict(value)
+                            else:
+                                out[f.name] = value
+                        return out
+
+                    @classmethod
+                    def from_dict(cls, data):
+                        kwargs = dict(data)
+                        if "tagged" in kwargs:
+                            kwargs["tagged"] = dict(kwargs["tagged"])
+                        return cls(**kwargs)
+            """,
+        },
+    )
+    assert only_codes(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# Memo-epoch hazard (RPL120).
+# ----------------------------------------------------------------------
+
+_MEMO_TEMPLATE = """
+    class Filter:
+        def __init__(self):
+            self._plan_cache = {{}}
+            self._plan_epoch = 0
+
+        def invalidate(self):
+            self._plan_epoch += 1
+            self._plan_cache.clear()
+
+        def plan(self, key):
+{body}
+"""
+
+
+def _memo_package(tmp_path, body: str) -> Path:
+    return write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/filt.py": _MEMO_TEMPLATE.format(body=textwrap.indent(body, " " * 12)),
+        },
+    )
+
+
+def test_memo_epoch_hazard_fires(tmp_path):
+    _memo_package(tmp_path, "return self._plan_cache.get(key)\n")
+    findings = project_codes(tmp_path)
+    assert [code for code, *_ in findings] == ["RPL120"]
+
+
+def test_memo_epoch_consulting_method_is_clean(tmp_path):
+    _memo_package(
+        tmp_path,
+        "entry = self._plan_cache.get(key)\n"
+        "if entry is not None and entry[0] == self._plan_epoch:\n"
+        "    return entry[1]\n"
+        "return None\n",
+    )
+    assert only_codes(tmp_path) == []
+
+
+def test_memo_epoch_class_without_epoch_is_out_of_scope(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/filt.py": """
+                class PureMemo:
+                    def __init__(self):
+                        self._hash_memo = {}
+
+                    def get(self, key):
+                        return self._hash_memo.get(key)
+            """,
+        },
+    )
+    assert only_codes(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# Parallel-task purity (RPL130/131).
+# ----------------------------------------------------------------------
+
+
+def test_parallel_global_write_fires_through_call_chain(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/tasks.py": """
+                from pkg.state import bump
+
+
+                def parallel_map(fn, items):
+                    return [fn(item) for item in items]
+
+
+                def run_cell(item):
+                    return bump(item)
+
+
+                def main(items):
+                    return parallel_map(run_cell, items)
+            """,
+            "pkg/state.py": """
+                _counter = 0
+
+
+                def bump(item):
+                    global _counter
+                    _counter += 1
+                    return (_counter, item)
+            """,
+        },
+    )
+    findings = project_codes(tmp_path)
+    assert [(code, name) for code, name, _line in findings] == [
+        ("RPL130", "state.py")
+    ]
+
+
+def test_parallel_mutable_capture_fires(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/tasks.py": """
+                RESULTS = {}
+
+
+                def parallel_map(fn, items):
+                    return [fn(item) for item in items]
+
+
+                def run_cell(item):
+                    RESULTS[item] = item * 2
+                    return item
+
+
+                def main(items):
+                    return parallel_map(run_cell, items)
+            """,
+        },
+    )
+    assert "RPL131" in only_codes(tmp_path)
+
+
+def test_parallel_pure_task_and_readonly_global_are_clean(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/tasks.py": """
+                PROFILES = {"fft": 3}
+
+
+                def parallel_map(fn, items):
+                    return [fn(item) for item in items]
+
+
+                def run_cell(item):
+                    local = {}
+                    local[item] = PROFILES["fft"]
+                    return local
+
+
+                def main(items):
+                    return parallel_map(run_cell, items)
+            """,
+        },
+    )
+    assert only_codes(tmp_path) == []
+
+
+def test_task_fn_keyword_is_a_submission_site(tmp_path):
+    write_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/tasks.py": """
+                LOG = []
+
+
+                def run_matrix(tasks, task_fn=None):
+                    return [task_fn(t) for t in tasks]
+
+
+                def worker(task):
+                    LOG.append(task)
+                    return task
+
+
+                def main(tasks):
+                    return run_matrix(tasks, task_fn=worker)
+            """,
+        },
+    )
+    assert "RPL131" in only_codes(tmp_path)

@@ -1,0 +1,167 @@
+"""Fingerprint ratchet (RPL110/111): drift detection end to end.
+
+The scenarios mirror the real workflow: generate fingerprints, drift a
+watched shape without bumping the version (RPL110), bump the version
+without regenerating (RPL111), regenerate (clean again).
+"""
+
+from pathlib import Path
+
+from repro.lint import ProjectIndex
+from repro.lint.passes import state_version
+
+from tests.lint.test_project import write_package
+
+WATCHLIST = (
+    state_version.WatchedEntity(
+        key="Cfg",
+        kind="dataclass-fields",
+        target="pkg.cfg.Cfg",
+        exclude="pkg.cfg.INERT",
+    ),
+    state_version.WatchedEntity(
+        key="INERT", kind="string-collection", target="pkg.cfg.INERT"
+    ),
+    state_version.WatchedEntity(
+        key="Sys.snapshot", kind="snapshot-keys", target="pkg.system.Sys.snapshot"
+    ),
+)
+VERSION_SYMBOL = "pkg.cfg.STATE_VERSION"
+
+
+def build_tree(tmp_path, *, version=1, extra_field="", snapshot_key=""):
+    extra = f"    {extra_field}: int = 0\n" if extra_field else ""
+    snap = f', "{snapshot_key}": 1' if snapshot_key else ""
+    return ProjectIndex.build(
+        [
+            str(
+                write_package(
+                    tmp_path,
+                    {
+                        "pkg/__init__.py": "",
+                        "pkg/cfg.py": (
+                            "from dataclasses import dataclass\n\n"
+                            f"STATE_VERSION = {version}\n"
+                            'INERT = frozenset({"trace"})\n\n\n'
+                            "@dataclass\n"
+                            "class Cfg:\n"
+                            "    seed: int = 42\n"
+                            "    trace: str = \"\"\n" + extra
+                        ),
+                        "pkg/system.py": (
+                            "class Sys:\n"
+                            "    def snapshot(self):\n"
+                            '        return {"format": 1, "state": []' + snap + "}\n"
+                        ),
+                    },
+                )
+            )
+        ]
+    )
+
+
+def run_pass(index, path):
+    return state_version.run(
+        index,
+        fingerprints_path=path,
+        watchlist=WATCHLIST,
+        version_symbol=VERSION_SYMBOL,
+    )
+
+
+def codes(violations):
+    return [v.rule.code for v in violations]
+
+
+def test_missing_fingerprint_file_is_stale(tmp_path):
+    index = build_tree(tmp_path / "tree")
+    assert codes(run_pass(index, tmp_path / "fp.json")) == ["RPL111"]
+
+
+def test_update_then_clean_roundtrip(tmp_path):
+    index = build_tree(tmp_path / "tree")
+    fp = tmp_path / "fp.json"
+    document = state_version.update_fingerprints(
+        index, fp, watchlist=WATCHLIST, version_symbol=VERSION_SYMBOL
+    )
+    # The exclude is applied: trace is inert, seed stays.
+    assert document["entities"]["Cfg"] == ["seed"]
+    assert document["entities"]["INERT"] == ["trace"]
+    assert document["entities"]["Sys.snapshot"] == ["format", "state"]
+    assert run_pass(index, fp) == []
+
+
+def test_field_added_without_bump_fires_rpl110(tmp_path):
+    fp = tmp_path / "fp.json"
+    state_version.update_fingerprints(
+        build_tree(tmp_path / "a"),
+        fp,
+        watchlist=WATCHLIST,
+        version_symbol=VERSION_SYMBOL,
+    )
+    drifted = build_tree(tmp_path / "b", extra_field="new_knob")
+    violations = run_pass(drifted, fp)
+    assert codes(violations) == ["RPL110"]
+    assert "new_knob" in violations[0].message
+
+
+def test_snapshot_key_added_without_bump_fires_rpl110(tmp_path):
+    fp = tmp_path / "fp.json"
+    state_version.update_fingerprints(
+        build_tree(tmp_path / "a"),
+        fp,
+        watchlist=WATCHLIST,
+        version_symbol=VERSION_SYMBOL,
+    )
+    drifted = build_tree(tmp_path / "b", snapshot_key="domains")
+    assert codes(run_pass(drifted, fp)) == ["RPL110"]
+
+
+def test_bump_without_regeneration_fires_rpl111(tmp_path):
+    fp = tmp_path / "fp.json"
+    state_version.update_fingerprints(
+        build_tree(tmp_path / "a"),
+        fp,
+        watchlist=WATCHLIST,
+        version_symbol=VERSION_SYMBOL,
+    )
+    bumped = build_tree(tmp_path / "b", version=2, extra_field="new_knob")
+    assert codes(run_pass(bumped, fp)) == ["RPL111"]
+    # Regenerating clears it — the documented workflow.
+    state_version.update_fingerprints(
+        bumped, fp, watchlist=WATCHLIST, version_symbol=VERSION_SYMBOL
+    )
+    assert run_pass(bumped, fp) == []
+
+
+def test_version_symbol_absent_skips_pass(tmp_path):
+    index = ProjectIndex.build(
+        [
+            str(
+                write_package(
+                    tmp_path,
+                    {"pkg/__init__.py": "", "pkg/mod.py": "X = 1\n"},
+                )
+            )
+        ]
+    )
+    assert run_pass(index, tmp_path / "fp.json") == []
+
+
+def test_corrupt_fingerprint_file_is_stale(tmp_path):
+    index = build_tree(tmp_path / "tree")
+    fp = tmp_path / "fp.json"
+    fp.write_text("{not json", encoding="utf-8")
+    assert codes(run_pass(index, fp)) == ["RPL111"]
+
+
+def test_fingerprint_output_is_byte_stable(tmp_path):
+    fp_a, fp_b = tmp_path / "a.json", tmp_path / "b.json"
+    index = build_tree(tmp_path / "tree")
+    state_version.update_fingerprints(
+        index, fp_a, watchlist=WATCHLIST, version_symbol=VERSION_SYMBOL
+    )
+    state_version.update_fingerprints(
+        index, fp_b, watchlist=WATCHLIST, version_symbol=VERSION_SYMBOL
+    )
+    assert fp_a.read_bytes() == fp_b.read_bytes()
