@@ -40,7 +40,7 @@ from typing import List, Optional
 
 from repro.analysis import render_table
 from repro.core.filter import ContentPolicy, SnoopPolicy
-from repro.workloads import PROFILES, get_profile
+from repro.workloads import PROFILES, SUITE_NAMES, get_profile
 
 EXPERIMENTS = {
     "fig1": ("repro.experiments.fig01_l2_decomposition", "Figure 1"),
@@ -61,6 +61,10 @@ EXPERIMENTS = {
         "Extension: consolidation-host scaling (16/64/144 cores)",
     ),
     "regionscout": ("repro.experiments.baseline_comparison", "Extension: RegionScout"),
+    "patterns": (
+        "repro.experiments.pattern_study",
+        "Extension: workload pattern suites x snoop policies",
+    ),
 }
 
 _POLICY_NAMES = {policy.value: policy for policy in SnoopPolicy}
@@ -83,8 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-apps", help="list the application profile catalogue")
 
+    sub.add_parser(
+        "list-patterns",
+        help="list access patterns, service profiles and scenario suites",
+    )
+
     def add_sim_args(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--app", default="fft", help="application profile name")
+        cmd.add_argument("--pattern", default=None, metavar="SPEC",
+                         help="access-pattern spec replacing the calibrated "
+                         "generator in every VM, e.g. zipfian(alpha=1.2), "
+                         "hotspot(hot_fraction=0.1,hot_probability=0.9), "
+                         "dynamicmix(phases=zipfian@2000+sequential@2000); "
+                         "see `repro-sim list-patterns`")
+        cmd.add_argument("--suite", default=None, choices=SUITE_NAMES,
+                         help="named scenario suite mapping services onto "
+                         "VMs (mutually exclusive with --pattern); see "
+                         "`repro-sim list-patterns`")
         cmd.add_argument(
             "--policy",
             default=SnoopPolicy.VSNOOP_BASE.value,
@@ -206,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     record = sub.add_parser("record-trace", help="capture a synthetic trace")
     record.add_argument("--app", default="fft")
+    record.add_argument("--pattern", default=None, metavar="SPEC",
+                        help="record the generic pattern workload on SPEC "
+                        "instead of the calibrated --app generator")
     record.add_argument("--out", required=True, help="output trace file")
     record.add_argument("--accesses", type=int, default=10_000,
                         help="accesses per vCPU to record")
@@ -233,11 +255,46 @@ def cmd_list_apps() -> int:
     return 0
 
 
+def cmd_list_patterns() -> int:
+    from repro.workloads import SERVICES, SUITES, pattern_names
+    from repro.workloads.patterns import PATTERNS
+
+    pattern_rows = []
+    for name in pattern_names():
+        instance = PATTERNS[name]() if name != "dynamicmix" else None
+        example = instance.spec() if instance is not None else (
+            "dynamicmix(phases=zipfian(alpha=1.1)@2000+sequential@2000)"
+        )
+        pattern_rows.append((name, example))
+    print(render_table(["pattern", "default spec / example"], pattern_rows,
+                       title="Access patterns (--pattern SPEC)"))
+    print()
+    service_rows = [
+        (name, service.description,
+         f"{service.write_fraction:.2f}", service.private_pattern)
+        for name, service in sorted(SERVICES.items())
+    ]
+    print(render_table(
+        ["service", "description", "write frac", "private pattern"],
+        service_rows, title="Service profiles (suite building blocks)",
+    ))
+    print()
+    suite_rows = [
+        (name, suite.description, ", ".join(suite.vm_services))
+        for name, suite in sorted(SUITES.items())
+    ]
+    print(render_table(["suite", "description", "VM services (cycled)"],
+                       suite_rows, title="Scenario suites (--suite NAME)"))
+    return 0
+
+
 def _config_from_args(args: argparse.Namespace):
     from repro.sim import SimConfig
 
     return SimConfig(
         filter_kind=args.filter,
+        pattern=args.pattern,
+        suite=args.suite,
         topology=args.topology,
         num_cores=args.cores,
         mesh_width=args.width,
@@ -550,9 +607,18 @@ def cmd_record_trace(args: argparse.Namespace) -> int:
     from repro.workloads.generator import VmWorkload
     from repro.workloads.tracefile import record_workload, save_trace
 
-    workload = VmWorkload(
-        get_profile(args.app), args.vm_id, args.vcpus, seed=args.seed
-    )
+    if args.pattern is not None:
+        from repro.workloads.pattern_workload import PatternWorkload
+        from repro.workloads.service import generic_service
+
+        workload = PatternWorkload(
+            generic_service(args.pattern), args.vm_id, args.vcpus,
+            seed=args.seed,
+        )
+    else:
+        workload = VmWorkload(
+            get_profile(args.app), args.vm_id, args.vcpus, seed=args.seed
+        )
     captured = record_workload(workload, args.accesses)
     count = save_trace(args.out, captured)
     print(f"wrote {count} accesses to {args.out}")
@@ -572,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(exc))
     if args.command == "list-apps":
         return cmd_list_apps()
+    if args.command == "list-patterns":
+        return cmd_list_patterns()
     if args.command == "run":
         return cmd_run(args)
     if args.command == "report":

@@ -111,6 +111,11 @@ DEFAULT_WATCHLIST: Tuple[WatchedEntity, ...] = (
         kind="snapshot-keys",
         target="repro.sim.system.SimulatedSystem.snapshot",
     ),
+    WatchedEntity(
+        key="SUITES",
+        kind="string-collection",
+        target="repro.workloads.suites.SUITES",
+    ),
 )
 
 

@@ -80,6 +80,16 @@ class SimConfig:
     hypervisor_activity_enabled: bool = False
     working_set_scale: float = 1.0
     seed: int = 42
+    # Workload selection beyond the paper's 13 calibrated apps. `pattern`
+    # is an access-pattern spec (repro.workloads.patterns grammar, e.g.
+    # "zipfian(alpha=1.2)"): every VM runs the generic mixed service with
+    # all pools walked by that pattern. `suite` names a scenario suite
+    # (repro.workloads.suites): each VM runs its slot's service profile.
+    # Mutually exclusive; both None keeps the calibrated VmWorkload
+    # generator. Both fields are part of the task/warm-up identity (NOT
+    # warm-up-inert): they change the access stream byte-for-byte.
+    pattern: Optional[str] = None
+    suite: Optional[str] = None
     # Opt-in runtime coherence sanitizer (repro.sanitizer): maintains
     # ground-truth line residence beside the caches and asserts snoop-
     # filter safety, residence-counter consistency, SWMR/state and
@@ -142,6 +152,27 @@ class SimConfig:
                 f"kernel must be 'auto', 'batched' or 'reference', got "
                 f"{self.kernel!r}"
             )
+        if self.pattern is not None and self.suite is not None:
+            raise ValueError(
+                "pattern and suite are mutually exclusive (a suite already "
+                "names each VM's service and patterns)"
+            )
+        if self.pattern is not None:
+            # Validate the spec at config time so a bad CLI/config string
+            # fails before any simulation is built or stored. Imported
+            # lazily: repro.workloads never imports repro.sim, so this
+            # cannot cycle, but config construction is on every hot path.
+            from repro.workloads.patterns import parse_pattern
+
+            parse_pattern(self.pattern)
+        if self.suite is not None:
+            from repro.workloads.suites import SUITE_NAMES
+
+            if self.suite not in SUITE_NAMES:
+                raise ValueError(
+                    f"unknown suite {self.suite!r} "
+                    f"(known: {', '.join(SUITE_NAMES)})"
+                )
 
     @property
     def migration_period_cycles(self) -> Optional[int]:

@@ -562,8 +562,15 @@ class _VmStream:
 
 
 def _word_eligible(workload) -> bool:
-    """Whether a workload can run on the packed word path."""
-    if not HAVE_NUMPY or not isinstance(workload, VmWorkload):
+    """Whether a workload can run on the packed word path.
+
+    Exact-type check, not isinstance: the packed encoding replays
+    ``VmWorkload.make_stepper``'s draw arithmetic literally, so any
+    subclass (or foreign workload such as ``PatternWorkload``) with
+    different generation logic must take the chunk/step paths instead —
+    an isinstance match would silently diverge.
+    """
+    if not HAVE_NUMPY or type(workload) is not VmWorkload:
         return False
     return max(
         workload._private_hot_bits,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.cache.hierarchy import PrivateHierarchy
 from repro.cache.line import CacheLine
@@ -32,7 +32,12 @@ from repro.mem.pagetype import PageType
 from repro.sim.config import SimConfig
 from repro.sim.stats import SimStats
 from repro.workloads.generator import VmWorkload
+from repro.workloads.pattern_workload import PatternWorkload
 from repro.workloads.profiles import AppProfile
+
+# The engine-facing workload interface: the synthetic generator, the
+# pattern-driven generator, or a trace replay (duck-typed elsewhere).
+Workload = Union[VmWorkload, PatternWorkload]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.recorder import MetricsRecorder
@@ -197,7 +202,7 @@ class SimulatedSystem:
     hypervisor: Hypervisor
     snoop_filter: PlacementListener  # VirtualSnoopFilter or RegionScoutFilter
     vms: List[VirtualMachine]
-    workloads: Dict[int, VmWorkload]
+    workloads: Dict[int, Workload]
     stats: SimStats
     # Attached by repro.sanitizer.attach_sanitizer when config.sanitize.
     sanitizer: Optional["CoherenceSanitizer"] = field(default=None)
@@ -267,16 +272,12 @@ class SimulatedSystem:
             filter_state = self.snoop_filter.snapshot_state()
             domains_version = None
         memory = self.hypervisor.memory
+        # Each workload captures its own mutable state (VmWorkload keeps
+        # the historical dict shape, so pre-existing stored snapshots
+        # stay restorable; PatternWorkload / TraceReplayWorkload carry
+        # their own kinds).
         workloads = {
-            vm_id: {
-                "rng": w._rng.getstate(),
-                "private": [(c.page, c.block) for c in w._private_streams],
-                "shared": (w._shared_stream.page, w._shared_stream.block),
-                "content": (w._content_stream.page, w._content_stream.block),
-                "hyp": (w._hyp_stream.page, w._hyp_stream.block),
-                "dom0": (w._dom0_stream.page, w._dom0_stream.block),
-            }
-            for vm_id, w in self.workloads.items()
+            vm_id: w.snapshot_state() for vm_id, w in self.workloads.items()
         }
         return {
             "format": SNAPSHOT_FORMAT,
@@ -402,19 +403,7 @@ class SimulatedSystem:
         host._allocated.clear()
         host._allocated.update(state["host"]["allocated"])
         for vm_id, captured in state["workloads"].items():
-            workload = self.workloads[vm_id]
-            workload._rng.setstate(captured["rng"])
-            for cursor, (page, block) in zip(
-                workload._private_streams, captured["private"]
-            ):
-                cursor.page, cursor.block = page, block
-            for name, cursor in (
-                ("shared", workload._shared_stream),
-                ("content", workload._content_stream),
-                ("hyp", workload._hyp_stream),
-                ("dom0", workload._dom0_stream),
-            ):
-                cursor.page, cursor.block = captured[name]
+            self.workloads[vm_id].restore_state(captured)
         return list(state["clocks"])
 
 
@@ -493,18 +482,27 @@ def build_system(config: SimConfig, profile: AppProfile) -> SimulatedSystem:
             core = vm_index * config.vcpus_per_vm + vcpu.index
             hypervisor.place_vcpu(vcpu, core)
 
-    workloads = {
-        vm.vm_id: VmWorkload(
-            profile,
-            vm.vm_id,
-            config.vcpus_per_vm,
-            seed=config.seed,
-            include_hypervisor=config.hypervisor_activity_enabled,
-            working_set_scale=config.working_set_scale,
-            coverage_accesses=max(config.warmup_accesses_per_vcpu, 1000),
-        )
-        for vm in vms
-    }
+    workloads: Dict[int, Workload]
+    if config.pattern is not None or config.suite is not None:
+        # Pattern/suite configs swap the calibrated generator for the
+        # composable pattern workloads; everything downstream (content
+        # registration, friends, the engine) sees the same interface.
+        from repro.workloads.pattern_workload import workloads_for_config
+
+        workloads = workloads_for_config(config, vms)
+    else:
+        workloads = {
+            vm.vm_id: VmWorkload(
+                profile,
+                vm.vm_id,
+                config.vcpus_per_vm,
+                seed=config.seed,
+                include_hypervisor=config.hypervisor_activity_enabled,
+                working_set_scale=config.working_set_scale,
+                coverage_accesses=max(config.warmup_accesses_per_vcpu, 1000),
+            )
+            for vm in vms
+        }
     if config.content_sharing_enabled:
         for vm in vms:
             hypervisor.content.register_many(

@@ -1,6 +1,15 @@
-"""Workload substrate: profiles, trace records, synthetic generators."""
+"""Workload substrate: profiles, trace records, synthetic generators,
+composable access patterns, service profiles and scenario suites."""
 
 from repro.workloads.generator import VmWorkload, solve_category_probabilities
+from repro.workloads.patterns import (
+    PATTERNS,
+    AccessPattern,
+    PatternError,
+    parse_pattern,
+    pattern_names,
+)
+from repro.workloads.pattern_workload import PatternWorkload
 from repro.workloads.profiles import (
     COHERENCE_APPS,
     CONTENT_APPS,
@@ -10,9 +19,18 @@ from repro.workloads.profiles import (
     AppProfile,
     get_profile,
 )
+from repro.workloads.service import SERVICES, ServiceProfile, generic_service, get_service
+from repro.workloads.suites import (
+    SUITE_NAMES,
+    SUITES,
+    ScenarioSuite,
+    get_suite,
+    suite_services,
+)
 from repro.workloads.trace import Initiator, MemoryAccess
 
 __all__ = [
+    "AccessPattern",
     "AppProfile",
     "COHERENCE_APPS",
     "CONTENT_APPS",
@@ -20,8 +38,22 @@ __all__ = [
     "Initiator",
     "MemoryAccess",
     "PARSEC_APPS",
+    "PATTERNS",
     "PROFILES",
+    "PatternError",
+    "PatternWorkload",
+    "SERVICES",
+    "SUITES",
+    "SUITE_NAMES",
+    "ScenarioSuite",
+    "ServiceProfile",
     "VmWorkload",
+    "generic_service",
     "get_profile",
+    "get_service",
+    "get_suite",
+    "parse_pattern",
+    "pattern_names",
     "solve_category_probabilities",
+    "suite_services",
 ]

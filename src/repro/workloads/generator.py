@@ -461,6 +461,35 @@ class VmWorkload:
             step = self._steppers[vcpu_index] = self.make_stepper(vcpu_index)
         return [step() for _ in range(count)]
 
+    def snapshot_state(self) -> dict:
+        """Mutable generator state as plain data (RNG word state plus the
+        stream-cursor positions) for the warm-state snapshot layer. The
+        dict shape is frozen: it is what existing stored snapshots carry
+        (see ``SimulatedSystem.snapshot``)."""
+        return {
+            "rng": self._rng.getstate(),
+            "private": [(c.page, c.block) for c in self._private_streams],
+            "shared": (self._shared_stream.page, self._shared_stream.block),
+            "content": (self._content_stream.page, self._content_stream.block),
+            "hyp": (self._hyp_stream.page, self._hyp_stream.block),
+            "dom0": (self._dom0_stream.page, self._dom0_stream.block),
+        }
+
+    def restore_state(self, captured: dict) -> None:
+        """Transplant a :meth:`snapshot_state` capture, in place (stepper
+        closures alias the cursor and RNG objects, so identities must
+        survive)."""
+        self._rng.setstate(captured["rng"])
+        for cursor, (page, block) in zip(self._private_streams, captured["private"]):
+            cursor.page, cursor.block = page, block
+        for name, cursor in (
+            ("shared", self._shared_stream),
+            ("content", self._content_stream),
+            ("hyp", self._hyp_stream),
+            ("dom0", self._dom0_stream),
+        ):
+            cursor.page, cursor.block = captured[name]
+
     def next_access(self, vcpu_index: int) -> MemoryAccess:
         """Generate the next access of ``vcpu_index``.
 

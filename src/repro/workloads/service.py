@@ -1,0 +1,209 @@
+"""Service-style VM profiles: pool mix + per-pool access patterns.
+
+Where :class:`~repro.workloads.profiles.AppProfile` reproduces the
+paper's 13 measured applications, a :class:`ServiceProfile` models a
+cloud *service* the way storage-system workload tables do (bleepstore's
+web / data-lake / backup split, SNIPPETS.md §3): how its accesses divide
+across the VM-private / VM-shared / content-shared / hypervisor / dom0
+pools, how write-heavy each pool is, how large each pool's footprint
+is, and which :mod:`~repro.workloads.patterns` pattern walks each pool.
+
+Profiles are consumed by
+:class:`~repro.workloads.pattern_workload.PatternWorkload`; the catalogue
+is selected per VM by :mod:`~repro.workloads.suites`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.workloads.patterns import AccessPattern, parse_pattern
+
+__all__ = ["SERVICES", "ServiceProfile", "generic_service", "get_service"]
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """One service's pool mix, write behaviour, footprint and patterns.
+
+    Pool *fractions* are relative access weights (normalised by their
+    sum at workload build; hypervisor/dom0 weight is dropped when the
+    config disables hypervisor activity, as the paper's Section V
+    simulator does). Pool *pages* are footprints before
+    ``working_set_scale``. Pattern fields are spec strings
+    (:func:`~repro.workloads.patterns.parse_pattern` grammar).
+    """
+
+    name: str
+    description: str
+    # Relative access weight per pool.
+    private_fraction: float = 0.6
+    shared_fraction: float = 0.18
+    content_fraction: float = 0.12
+    hyp_fraction: float = 0.06
+    dom0_fraction: float = 0.04
+    # Store probability per guest pool (hypervisor/dom0 use the
+    # generator's fixed 0.2, matching VmWorkload's streams).
+    write_fraction: float = 0.2
+    shared_write_fraction: float = 0.1
+    content_write_fraction: float = 0.0
+    # Pool footprints, in pages (scaled by the config's working-set
+    # scale; content pages are merged across VMs by the sharing scan).
+    private_pages: int = 192
+    shared_pages: int = 96
+    content_pages: int = 96
+    # Per-pool access patterns (spec strings).
+    private_pattern: str = "zipfian"
+    shared_pattern: str = "uniform"
+    content_pattern: str = "sequential"
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.private_fraction,
+            self.shared_fraction,
+            self.content_fraction,
+            self.hyp_fraction,
+            self.dom0_fraction,
+        )
+        if any(fraction < 0 for fraction in fractions):
+            raise ValueError(f"{self.name}: pool fractions must be >= 0")
+        if self.private_fraction + self.shared_fraction + self.content_fraction <= 0:
+            raise ValueError(f"{self.name}: guest pools need positive access weight")
+        for label, value in (
+            ("write_fraction", self.write_fraction),
+            ("shared_write_fraction", self.shared_write_fraction),
+            ("content_write_fraction", self.content_write_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {label} must be in [0, 1], got {value}")
+        for label, pages in (
+            ("private_pages", self.private_pages),
+            ("shared_pages", self.shared_pages),
+            ("content_pages", self.content_pages),
+        ):
+            if pages < 1:
+                raise ValueError(f"{self.name}: {label} must be >= 1, got {pages}")
+        # Parse every pattern spec now so a bad catalogue entry (or CLI
+        # override) fails at construction, not mid-simulation.
+        for spec in (self.private_pattern, self.shared_pattern, self.content_pattern):
+            parse_pattern(spec)
+
+    def pattern_for(self, pool: str) -> AccessPattern:
+        """The parsed pattern of one guest pool ('private'/'shared'/'content')."""
+        spec = getattr(self, f"{pool}_pattern")
+        return parse_pattern(spec)
+
+    def with_patterns(self, spec: str) -> "ServiceProfile":
+        """A copy with every guest pool walked by ``spec``."""
+        parse_pattern(spec)  # validate before constructing the copy
+        return replace(
+            self,
+            private_pattern=spec,
+            shared_pattern=spec,
+            content_pattern=spec,
+        )
+
+
+SERVICES: Dict[str, ServiceProfile] = {
+    # Read-heavy front end: Zipfian-popular session/private state, a hot
+    # shared cache, content (images/templates) identical across VMs.
+    "web": ServiceProfile(
+        name="web",
+        description="read-heavy web frontend (80/20 reads, Zipfian popularity)",
+        private_fraction=0.5,
+        shared_fraction=0.2,
+        content_fraction=0.2,
+        hyp_fraction=0.06,
+        dom0_fraction=0.04,
+        write_fraction=0.05,
+        shared_write_fraction=0.1,
+        content_write_fraction=0.0,
+        private_pages=160,
+        shared_pages=96,
+        content_pages=128,
+        private_pattern="zipfian(alpha=1.1)",
+        shared_pattern="hotspot(hot_fraction=0.1,hot_probability=0.9)",
+        content_pattern="sequential",
+    ),
+    # Write-heavy ingest: bulk appends over wide private regions, bursty
+    # shared staging buffers.
+    "datalake": ServiceProfile(
+        name="datalake",
+        description="write-heavy data-lake ingest (40/60 writes, scan+burst)",
+        private_fraction=0.62,
+        shared_fraction=0.22,
+        content_fraction=0.06,
+        hyp_fraction=0.06,
+        dom0_fraction=0.04,
+        write_fraction=0.6,
+        shared_write_fraction=0.5,
+        content_write_fraction=0.0,
+        private_pages=320,
+        shared_pages=128,
+        content_pages=48,
+        private_pattern="sequential(stride=2)",
+        shared_pattern="bursty(mean_burst=32.0)",
+        content_pattern="uniform",
+    ),
+    # Backup window: almost pure sequential writes walking everything.
+    "backup": ServiceProfile(
+        name="backup",
+        description="backup/archival sweep (sequential, ~95% writes)",
+        private_fraction=0.78,
+        shared_fraction=0.06,
+        content_fraction=0.08,
+        hyp_fraction=0.05,
+        dom0_fraction=0.03,
+        write_fraction=0.95,
+        shared_write_fraction=0.9,
+        content_write_fraction=0.0,
+        private_pages=384,
+        shared_pages=48,
+        content_pages=64,
+        private_pattern="sequential",
+        shared_pattern="sequential",
+        content_pattern="sequential",
+    ),
+    # In-memory KV cache: extreme key-popularity skew, small hot set.
+    "kvcache": ServiceProfile(
+        name="kvcache",
+        description="in-memory KV cache (hotspot keys, moderate writes)",
+        private_fraction=0.56,
+        shared_fraction=0.26,
+        content_fraction=0.08,
+        hyp_fraction=0.06,
+        dom0_fraction=0.04,
+        write_fraction=0.25,
+        shared_write_fraction=0.3,
+        content_write_fraction=0.0,
+        private_pages=128,
+        shared_pages=112,
+        content_pages=48,
+        private_pattern="hotspot(hot_fraction=0.05,hot_probability=0.95)",
+        shared_pattern="zipfian(alpha=1.3)",
+        content_pattern="uniform",
+    ),
+}
+
+
+def get_service(name: str) -> ServiceProfile:
+    try:
+        return SERVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown service {name!r} (known: {', '.join(sorted(SERVICES))})"
+        ) from None
+
+
+def generic_service(pattern_spec: str) -> ServiceProfile:
+    """The ``--pattern SPEC`` service: a balanced mix with every guest
+    pool walked by ``pattern_spec`` — the single-knob way to put one
+    pattern under the full classification machinery."""
+    return ServiceProfile(
+        name=f"mixed[{pattern_spec}]",
+        description=f"generic mix, all pools on {pattern_spec}",
+        private_pattern=pattern_spec,
+        shared_pattern=pattern_spec,
+        content_pattern=pattern_spec,
+    )

@@ -20,7 +20,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
-from repro.workloads.generator import VmWorkload
 from repro.workloads.trace import Initiator, MemoryAccess
 
 _INITIATOR_CODE = {
@@ -90,10 +89,13 @@ def load_trace(path: Union[str, Path]) -> List[MemoryAccess]:
     return accesses
 
 
-def record_workload(
-    workload: VmWorkload, accesses_per_vcpu: int
-) -> List[MemoryAccess]:
-    """Capture a synthetic workload's streams, round-robin interleaved."""
+def record_workload(workload, accesses_per_vcpu: int) -> List[MemoryAccess]:
+    """Capture a synthetic workload's streams, round-robin interleaved.
+
+    Accepts any generator with the engine's workload interface
+    (``VmWorkload``, ``PatternWorkload``, ...): only ``num_vcpus`` and
+    ``next_access`` are used.
+    """
     captured: List[MemoryAccess] = []
     for _ in range(accesses_per_vcpu):
         for vcpu in range(workload.num_vcpus):
@@ -195,6 +197,13 @@ class TraceReplayWorkload:
     def stream(self, vcpu_index: int, count: int) -> Iterator[MemoryAccess]:
         for _ in range(count):
             yield self.next_access(vcpu_index)
+
+    def snapshot_state(self) -> dict:
+        """Replay positions as plain data (warm-state snapshot layer)."""
+        return {"kind": "trace", "positions": list(self._positions)}
+
+    def restore_state(self, captured: dict) -> None:
+        self._positions[:] = captured["positions"]
 
     def content_pages(self) -> Iterator[Tuple[int, int]]:
         """Content labels are not derivable from a raw trace; callers may

@@ -96,4 +96,24 @@ GOLDEN_CASES = {
         ),
         "lu",
     ),
+    # Pattern-library workloads (PatternWorkload instead of VmWorkload):
+    # a single-knob Zipfian mix under the counter policy with
+    # migrations, and the phase-shift suite's DynamicMix services with
+    # content sharing — freezing the pattern RNG/draw-order contract.
+    "zipfian-counter": SimTask(
+        _case(
+            pattern="zipfian(alpha=1.2)",
+            snoop_policy=SnoopPolicy.VSNOOP_COUNTER,
+            migration_period_ms=0.5,
+        ),
+        "fft",
+    ),
+    "dynamicmix-vsnoop": SimTask(
+        _case(
+            suite="phase-shift",
+            snoop_policy=SnoopPolicy.VSNOOP_BASE,
+            content_sharing_enabled=True,
+        ),
+        "fft",
+    ),
 }

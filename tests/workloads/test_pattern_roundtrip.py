@@ -1,0 +1,134 @@
+"""Trace round-trip: record a pattern, replay it, get identical stats.
+
+Every pattern's access stream must survive the trace-file layer: record
+the live :class:`PatternWorkload` with ``record_workload``, replay it
+through :class:`TraceReplayWorkload`, and the simulation statistics are
+bit-identical to the live generator's — on both kernels, including a
+save/load pass through the on-disk text format.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.kernel import engine_for
+from repro.sim.system import build_system
+from repro.workloads.pattern_workload import PatternWorkload
+from repro.workloads.profiles import PROFILES
+from repro.workloads.tracefile import (
+    TraceReplayWorkload,
+    load_trace,
+    record_workload,
+    save_trace,
+)
+
+from .test_pattern_differential import ALL_SPECS, _ids
+
+BASE = SimConfig(
+    num_cores=4,
+    mesh_width=2,
+    mesh_height=2,
+    num_vms=2,
+    vcpus_per_vm=2,
+    accesses_per_vcpu=400,
+    warmup_accesses_per_vcpu=100,
+    content_sharing_enabled=True,
+    hypervisor_activity_enabled=True,
+)
+
+
+def _fresh_twin(workload: PatternWorkload, config: SimConfig) -> PatternWorkload:
+    """An unconsumed copy of a built system's pattern workload."""
+    return PatternWorkload(
+        workload.service,
+        workload.vm_id,
+        workload.num_vcpus,
+        seed=config.seed,
+        include_hypervisor=config.hypervisor_activity_enabled,
+        working_set_scale=config.working_set_scale,
+    )
+
+
+def _replay_system(config: SimConfig, through_disk=None):
+    """A built system with every workload swapped for its recording.
+
+    ``loop=False`` makes over-consumption loud: if a kernel pulled even
+    one access more than the live run, replay raises StopIteration
+    instead of silently wrapping.
+    """
+    system = build_system(config, PROFILES["fft"])
+    per_vcpu = config.warmup_accesses_per_vcpu + config.accesses_per_vcpu
+    for vm_id, workload in list(system.workloads.items()):
+        source = _fresh_twin(workload, config)
+        accesses = record_workload(source, per_vcpu)
+        if through_disk is not None:
+            path = through_disk / f"vm{vm_id}.trace"
+            save_trace(path, accesses)
+            accesses = load_trace(path)
+        system.workloads[vm_id] = TraceReplayWorkload(
+            vm_id,
+            accesses,
+            workload.num_vcpus,
+            loop=False,
+            content_page_labels=list(source.content_pages()),
+        )
+    return system
+
+
+def run_stats(system) -> str:
+    engine_for(system).run()
+    return json.dumps(system.stats.to_dict(), sort_keys=True)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=_ids)
+    def test_replay_matches_live_on_both_kernels(self, spec):
+        config = replace(BASE, pattern=spec)
+        live = run_stats(build_system(config, PROFILES["fft"]))
+        for kernel in ("reference", "batched"):
+            replayed = run_stats(_replay_system(replace(config, kernel=kernel)))
+            assert replayed == live, kernel
+
+    def test_suite_replay_matches_live(self):
+        config = replace(BASE, suite="cloud-mix")
+        live = run_stats(build_system(config, PROFILES["fft"]))
+        replayed = run_stats(_replay_system(replace(config, kernel="batched")))
+        assert replayed == live
+
+    def test_replay_survives_disk_format(self, tmp_path):
+        config = replace(BASE, pattern="zipfian(alpha=1.2)")
+        live = run_stats(build_system(config, PROFILES["fft"]))
+        replayed = run_stats(
+            _replay_system(replace(config, kernel="batched"), through_disk=tmp_path)
+        )
+        assert replayed == live
+
+
+class TestRecording:
+    def test_record_workload_accepts_pattern_workload(self):
+        config = replace(BASE, pattern="hotspot")
+        system = build_system(config, PROFILES["fft"])
+        workload = system.workloads[1]
+        accesses = record_workload(_fresh_twin(workload, config), 25)
+        assert len(accesses) == 25 * workload.num_vcpus
+        assert {a.vm_id for a in accesses} == {workload.vm_id}
+        assert {a.vcpu_index for a in accesses} == set(range(workload.num_vcpus))
+
+    def test_recording_is_deterministic(self):
+        config = replace(BASE, pattern="bursty(mean_burst=8.0)")
+        system = build_system(config, PROFILES["fft"])
+        workload = system.workloads[1]
+        first = record_workload(_fresh_twin(workload, config), 50)
+        second = record_workload(_fresh_twin(workload, config), 50)
+        assert first == second
+
+    def test_disk_format_preserves_every_field(self, tmp_path):
+        config = replace(BASE, suite="phase-shift")
+        system = build_system(config, PROFILES["fft"])
+        workload = system.workloads[1]
+        accesses = record_workload(_fresh_twin(workload, config), 40)
+        path = tmp_path / "pattern.trace"
+        save_trace(path, accesses)
+        assert load_trace(path) == accesses

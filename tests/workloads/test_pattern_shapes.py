@@ -1,0 +1,184 @@
+"""Statistical shape tests for the pattern samplers.
+
+Each test asserts the *distributional signature* a pattern promises —
+Zipf's rank-frequency slope, hotspot concentration, scan monotonicity,
+geometric burst run lengths, exact DynamicMix phase boundaries —
+directly from generated offset streams with fixed seeds. None of these
+touch the simulator: the differential suite proves the simulator
+consumes the streams faithfully; this file proves the streams are what
+the pattern names claim.
+"""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.patterns import (
+    BurstyPattern,
+    DynamicMixPattern,
+    HotspotPattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfianPattern,
+)
+
+
+def draws(pattern, blocks, count, seed=1234):
+    sampler = pattern.sampler(blocks, random.Random(seed))
+    return [sampler.next() for _ in range(count)]
+
+
+class TestZipfianShape:
+    def test_rank_frequency_slope_matches_alpha(self):
+        # Offset == popularity rank, so the log-log regression of
+        # frequency against (rank + 1) over well-populated top ranks
+        # recovers -alpha.
+        alpha = 1.2
+        sample = draws(ZipfianPattern(alpha=alpha), 1024, 200_000)
+        counts = Counter(sample)
+        xs, ys = [], []
+        for rank in range(20):
+            assert counts[rank] > 100  # top ranks are well-populated
+            xs.append(math.log(rank + 1))
+            ys.append(math.log(counts[rank]))
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        slope = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / sum((x - mean_x) ** 2 for x in xs)
+        assert slope == pytest.approx(-alpha, abs=0.1)
+
+    def test_rank_zero_dominates(self):
+        counts = Counter(draws(ZipfianPattern(alpha=1.1), 512, 50_000))
+        top = counts.most_common(3)
+        assert top[0][0] == 0
+        assert counts[0] > counts[10] > counts[100]
+
+    def test_higher_alpha_concentrates_more(self):
+        mild = Counter(draws(ZipfianPattern(alpha=0.8), 512, 50_000, seed=7))
+        steep = Counter(draws(ZipfianPattern(alpha=1.6), 512, 50_000, seed=7))
+        top10 = lambda c: sum(c[r] for r in range(10))  # noqa: E731
+        assert top10(steep) > top10(mild)
+
+
+class TestHotspotShape:
+    def test_hot_prefix_absorbs_hot_probability(self):
+        pattern = HotspotPattern(hot_fraction=0.1, hot_probability=0.9)
+        blocks = 1000
+        sample = draws(pattern, blocks, 100_000)
+        hot_hits = sum(1 for offset in sample if offset < 100)
+        assert hot_hits / len(sample) == pytest.approx(0.9, abs=0.01)
+
+    def test_cold_region_is_uniform_over_cold_blocks(self):
+        pattern = HotspotPattern(hot_fraction=0.1, hot_probability=0.5)
+        blocks = 200
+        sample = [o for o in draws(pattern, blocks, 100_000) if o >= 20]
+        counts = Counter(sample)
+        assert min(counts) == 20 and max(counts) == blocks - 1
+        expected = len(sample) / 180
+        assert all(
+            count == pytest.approx(expected, rel=0.35)
+            for count in counts.values()
+        )
+
+    def test_all_hot_pool_stays_in_range(self):
+        sample = draws(HotspotPattern(hot_fraction=1.0), 64, 5_000)
+        assert max(sample) < 64
+
+
+class TestSequentialShape:
+    @pytest.mark.parametrize("stride", [1, 3])
+    def test_stride_monotonic_then_wraps(self, stride):
+        blocks = 30
+        sample = draws(SequentialPattern(stride=stride), blocks, 100)
+        for i, offset in enumerate(sample):
+            assert offset == (i * stride) % blocks
+
+    def test_full_coverage_before_repeat(self):
+        blocks = 64
+        sample = draws(SequentialPattern(), blocks, blocks)
+        assert sorted(sample) == list(range(blocks))
+
+
+class TestBurstyShape:
+    @staticmethod
+    def run_lengths(sample, blocks):
+        """Lengths of maximal consecutive +1 (mod blocks) runs."""
+        lengths = []
+        current = 1
+        for prev, this in zip(sample, sample[1:]):
+            if this == (prev + 1) % blocks:
+                current += 1
+            else:
+                lengths.append(current)
+                current = 1
+        lengths.append(current)
+        return lengths
+
+    def test_mean_run_length_tracks_mean_burst(self):
+        mean_burst = 16.0
+        sample = draws(BurstyPattern(mean_burst=mean_burst), 100_000, 200_000)
+        lengths = self.run_lengths(sample, 100_000)
+        observed = sum(lengths) / len(lengths)
+        # A fraction 1/mean_burst of jumps lands on position+1 by
+        # chance in a small pool; with 100k blocks that is negligible.
+        assert observed == pytest.approx(mean_burst, rel=0.1)
+
+    def test_run_length_cv_is_geometric(self):
+        # Geometric run lengths: CV = sqrt(1 - p) with p = 1/mean.
+        mean_burst = 16.0
+        sample = draws(BurstyPattern(mean_burst=mean_burst), 100_000, 200_000)
+        lengths = self.run_lengths(sample, 100_000)
+        mean = sum(lengths) / len(lengths)
+        variance = sum((l - mean) ** 2 for l in lengths) / len(lengths)
+        cv = math.sqrt(variance) / mean
+        assert cv == pytest.approx(math.sqrt(1 - 1 / mean_burst), abs=0.1)
+
+    def test_jumps_are_dispersed(self):
+        sample = draws(BurstyPattern(mean_burst=4.0), 10_000, 20_000)
+        # Jump targets spread over the pool, not clustered at zero.
+        assert len({o for o in sample}) > 2_000
+
+
+class TestDynamicMixShape:
+    def test_phase_boundaries_exact(self):
+        # Two sequential children with different strides make every
+        # access attributable: the switchover index is exact, not
+        # approximate.
+        mix = DynamicMixPattern(
+            segments=(
+                (SequentialPattern(stride=1), 4),
+                (SequentialPattern(stride=3), 5),
+            )
+        )
+        sample = draws(mix, 1_000, 18)
+        assert sample[0:4] == [0, 1, 2, 3]            # phase A, first visit
+        assert sample[4:9] == [0, 3, 6, 9, 12]        # phase B, first visit
+        assert sample[9:13] == [4, 5, 6, 7]           # phase A resumes
+        assert sample[13:18] == [15, 18, 21, 24, 27]  # phase B resumes
+
+    def test_cycles_indefinitely(self):
+        mix = DynamicMixPattern(
+            segments=((SequentialPattern(), 3), (SequentialPattern(stride=2), 2))
+        )
+        sample = draws(mix, 1_000, 25)
+        # 5 full cycles of 3+2: phase A emits 0..14 in order overall.
+        phase_a = [sample[i] for i in range(25) if i % 5 < 3]
+        assert phase_a == list(range(15))
+
+    def test_random_child_respects_boundary(self):
+        mix = DynamicMixPattern(
+            segments=(
+                (SequentialPattern(), 10),
+                (UniformPattern(), 10),
+            )
+        )
+        sample = draws(mix, 10_000, 40, seed=3)
+        assert sample[0:10] == list(range(10))
+        assert sample[20:30] == list(range(10, 20))
+        # The uniform phases draw from the whole pool with near
+        # certainty of leaving the scan prefix.
+        assert any(offset > 100 for offset in sample[10:20])

@@ -1,0 +1,237 @@
+"""Unit tests for the access-pattern library: registry, spec grammar,
+sampler determinism and snapshot/restore. Statistical *shape* assertions
+live in test_pattern_shapes.py; simulator integration in
+test_pattern_differential.py."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    PATTERNS,
+    AccessPattern,
+    BurstyPattern,
+    DynamicMixPattern,
+    HotspotPattern,
+    PatternError,
+    SequentialPattern,
+    UniformPattern,
+    ZipfianPattern,
+    parse_pattern,
+    pattern_names,
+)
+
+
+class TestRegistry:
+    def test_registry_names_sorted(self):
+        assert pattern_names() == sorted(PATTERNS)
+        assert set(pattern_names()) == {
+            "bursty", "dynamicmix", "hotspot", "sequential", "uniform", "zipfian",
+        }
+
+    def test_every_entry_is_a_pattern_class(self):
+        for cls in PATTERNS.values():
+            assert issubclass(cls, AccessPattern)
+            assert cls.kind in PATTERNS
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "name", ["uniform", "zipfian", "hotspot", "sequential", "bursty"]
+    )
+    def test_bare_name(self, name):
+        pattern = parse_pattern(name)
+        assert pattern.kind == name
+
+    def test_colon_form(self):
+        pattern = parse_pattern("zipfian:alpha=1.4")
+        assert isinstance(pattern, ZipfianPattern)
+        assert pattern.alpha == 1.4
+
+    def test_paren_form(self):
+        pattern = parse_pattern("hotspot(hot_fraction=0.25,hot_probability=0.8)")
+        assert isinstance(pattern, HotspotPattern)
+        assert pattern.hot_fraction == 0.25
+        assert pattern.hot_probability == 0.8
+
+    def test_whitespace_tolerated(self):
+        pattern = parse_pattern("  zipfian( alpha = 1.25 )  ")
+        assert pattern == ZipfianPattern(alpha=1.25)
+
+    def test_integer_scalar(self):
+        pattern = parse_pattern("sequential(stride=3)")
+        assert isinstance(pattern, SequentialPattern)
+        assert pattern.stride == 3
+
+    def test_dynamicmix(self):
+        pattern = parse_pattern(
+            "dynamicmix(phases=zipfian(alpha=1.2)@2000+sequential@500)"
+        )
+        assert isinstance(pattern, DynamicMixPattern)
+        assert pattern.segments == (
+            (ZipfianPattern(alpha=1.2), 2000),
+            (SequentialPattern(), 500),
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "   ",
+            "nosuchpattern",
+            "zipfian(alpha=1.2",
+            "zipfian alpha=1.2)",
+            "zipfian(alpha)",
+            "zipfian(beta=1.2)",
+            "dynamicmix(phases=uniform@notanint)",
+            "dynamicmix(phases=uniform)",
+            "dynamicmix",
+            "dynamicmix(phases=dynamicmix(phases=uniform@5)@5)",
+        ],
+    )
+    def test_bad_specs_raise_pattern_error(self, spec):
+        with pytest.raises(PatternError):
+            parse_pattern(spec)
+
+    def test_pattern_error_is_value_error(self):
+        assert issubclass(PatternError, ValueError)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            UniformPattern(),
+            ZipfianPattern(alpha=1.2),
+            HotspotPattern(hot_fraction=0.05, hot_probability=0.95),
+            SequentialPattern(),
+            SequentialPattern(stride=4),
+            BurstyPattern(mean_burst=24.0),
+            DynamicMixPattern(
+                segments=(
+                    (ZipfianPattern(alpha=1.1), 2000),
+                    (SequentialPattern(stride=2), 1500),
+                )
+            ),
+        ],
+        ids=lambda p: p.spec(),
+    )
+    def test_round_trip(self, pattern):
+        spec = pattern.spec()
+        assert parse_pattern(spec) == pattern
+        assert parse_pattern(spec).spec() == spec
+
+    def test_default_stride_renders_bare(self):
+        assert SequentialPattern().spec() == "sequential"
+
+    def test_uniform_renders_bare(self):
+        assert UniformPattern().spec() == "uniform"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.0, -1.0, 9.0])
+    def test_zipfian_alpha(self, alpha):
+        with pytest.raises(PatternError):
+            ZipfianPattern(alpha=alpha)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hot_fraction": 0.0},
+            {"hot_fraction": 1.5},
+            {"hot_probability": -0.1},
+            {"hot_probability": 1.1},
+        ],
+    )
+    def test_hotspot_bounds(self, kwargs):
+        with pytest.raises(PatternError):
+            HotspotPattern(**kwargs)
+
+    def test_sequential_stride(self):
+        with pytest.raises(PatternError):
+            SequentialPattern(stride=0)
+
+    def test_bursty_mean(self):
+        with pytest.raises(PatternError):
+            BurstyPattern(mean_burst=0.5)
+
+    def test_dynamicmix_needs_segments(self):
+        with pytest.raises(PatternError):
+            DynamicMixPattern(segments=())
+
+    def test_dynamicmix_rejects_zero_count(self):
+        with pytest.raises(PatternError):
+            DynamicMixPattern(segments=((UniformPattern(), 0),))
+
+
+ALL_PATTERNS = [
+    UniformPattern(),
+    ZipfianPattern(alpha=1.2),
+    HotspotPattern(),
+    SequentialPattern(stride=3),
+    BurstyPattern(mean_burst=8.0),
+    DynamicMixPattern(
+        segments=((ZipfianPattern(alpha=1.1), 40), (SequentialPattern(), 30))
+    ),
+]
+_ids = [p.kind for p in ALL_PATTERNS]
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=_ids)
+    def test_same_seed_same_stream(self, pattern):
+        a = pattern.sampler(512, random.Random(7))
+        b = pattern.sampler(512, random.Random(7))
+        assert [a.next() for _ in range(300)] == [b.next() for _ in range(300)]
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=_ids)
+    @pytest.mark.parametrize("blocks", [1, 5, 512])
+    def test_offsets_in_range(self, pattern, blocks):
+        sampler = pattern.sampler(blocks, random.Random(3))
+        for _ in range(200):
+            assert 0 <= sampler.next() < blocks
+
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS, ids=_ids)
+    def test_snapshot_restore_resumes_exactly(self, pattern):
+        rng = random.Random(11)
+        sampler = pattern.sampler(256, rng)
+        for _ in range(97):
+            sampler.next()
+        rng_state = rng.getstate()
+        state = sampler.snapshot_state()
+        expected = [sampler.next() for _ in range(80)]
+
+        fresh_rng = random.Random(0)
+        fresh = pattern.sampler(256, fresh_rng)
+        fresh_rng.setstate(rng_state)
+        fresh.restore_state(state)
+        assert [fresh.next() for _ in range(80)] == expected
+
+    def test_snapshot_state_is_plain_data(self):
+        for pattern in ALL_PATTERNS:
+            state = pattern.sampler(64, random.Random(1)).snapshot_state()
+            assert isinstance(state, tuple)
+
+    def test_stateless_sampler_rejects_foreign_state(self):
+        sampler = UniformPattern().sampler(64, random.Random(1))
+        with pytest.raises(ValueError):
+            sampler.restore_state((3,))
+
+    def test_zipfian_draws_one_random_per_next(self):
+        # The documented draw-order contract: zipfian consumes exactly
+        # one rng.random() per next(), so RNG states stay in lockstep.
+        rng = random.Random(5)
+        sampler = ZipfianPattern(alpha=1.1).sampler(128, rng)
+        shadow = random.Random(5)
+        for _ in range(50):
+            sampler.next()
+            shadow.random()
+        assert rng.getstate() == shadow.getstate()
+
+    def test_sequential_draws_no_randomness(self):
+        rng = random.Random(5)
+        before = rng.getstate()
+        sampler = SequentialPattern().sampler(128, rng)
+        for _ in range(50):
+            sampler.next()
+        assert rng.getstate() == before
