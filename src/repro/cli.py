@@ -449,13 +449,15 @@ def cmd_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     return 0
 
 
-def _profiled_measure_rate(config, app) -> Optional[float]:
-    """Measured-phase us/access for ``config`` under cProfile.
+def _profiled_measure_rate(config, app):
+    """Measured-phase ``(us/access, bulk summary)`` under cProfile.
 
     Builds (or snapshot-restores) a fresh system, then times only the
     measured phase with the profiler enabled — the same conditions the
     main ``repro-sim profile`` report runs under, so the kernel
-    comparison rows are like-for-like.
+    comparison rows are like-for-like. The bulk summary is the batched
+    engine's ``bulk_summary()`` (``None`` for the reference engine,
+    which has no bulk-miss seam).
     """
     import cProfile
     import time
@@ -470,10 +472,12 @@ def _profiled_measure_rate(config, app) -> Optional[float]:
     engine.measure(clocks)
     profiler.disable()
     elapsed = time.perf_counter() - start  # repro-lint: disable=RPL004; real-time profiling
+    summary_fn = getattr(engine, "bulk_summary", None)
+    summary = summary_fn() if summary_fn is not None else None
     accesses = system.stats.l1_accesses
     if not accesses:
-        return None
-    return 1e6 * elapsed / accesses
+        return None, summary
+    return 1e6 * elapsed / accesses, summary
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -562,9 +566,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
         from repro.sim.mtstream import HAVE_NUMPY
 
         rates = {}
+        summaries = {}
         for kernel in ("reference", "batched"):
             variant = replace(config, kernel=kernel, trace=None, sanitize=False)
-            rates[kernel] = _profiled_measure_rate(variant, args.app)
+            rates[kernel], summaries[kernel] = _profiled_measure_rate(
+                variant, args.app
+            )
         reference_rate = rates["reference"]
         batched_rate = rates["batched"]
         print("  kernel comparison (measured phase, profiled):")
@@ -576,6 +583,19 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 suffix = f"  ({reference_rate / batched_rate:.1f}x vs reference)"
             fallback = "" if HAVE_NUMPY else "  [numpy absent: stepper fallback]"
             print(f"    batched:   {batched_rate:8.2f} us/access{suffix}{fallback}")
+        summary = summaries["batched"]
+        if summary is not None:
+            bulk = summary["bulk_transacts"]
+            bailouts = summary["bailouts"]
+            bailed = sum(bailouts.values())
+            seen = bulk + bailed
+            if seen:
+                print(
+                    f"    bulk-miss seam: {bulk}/{seen} transactions inline "
+                    f"({100 * bulk / seen:.1f}%), {bailed} bailed out"
+                )
+                for reason, count in bailouts.items():
+                    print(f"      bail {reason}: {count}")
     return 0
 
 

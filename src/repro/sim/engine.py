@@ -230,10 +230,17 @@ class SimulationEngine:
         heappop = heapq.heappop
         migrate = migrate and self._next_migration is not None
         next_migration = self._next_migration if migrate else 0
-        # Metrics boundary: inf unless a recorder is active this phase,
-        # making the per-access check below a single false comparison.
+        # Metrics boundary: inf unless a recorder is active this phase.
         metrics = self._metrics
         next_sample = self._next_sample
+        # Folded deadline: the soonest coherence-visible boundary (metrics
+        # sample or migration window). The hot loop compares each popped
+        # clock against this single value; the two-way split below only
+        # runs when a boundary is actually due, so the common access pays
+        # one comparison instead of two.
+        boundary = next_sample
+        if migrate and next_migration < boundary:
+            boundary = next_migration
         workloads = self._workloads
         caches = self._caches
         mem_translate = self._mem_translate
@@ -261,12 +268,18 @@ class SimulationEngine:
         while heap:
             local_time, _, index = heappop(heap)
             self.now = local_time
-            if local_time >= next_sample:
-                next_sample = metrics.sample(local_time)
-            if migrate and local_time >= next_migration:
-                self._maybe_migrate()
-                next_migration = self._next_migration
-                cores = [v.core for v in vcpus]
+            if local_time >= boundary:
+                # Same check order as the pre-fold loop: sample first,
+                # then migration, each against its own deadline.
+                if local_time >= next_sample:
+                    next_sample = metrics.sample(local_time)
+                if migrate and local_time >= next_migration:
+                    self._maybe_migrate()
+                    next_migration = self._next_migration
+                    cores = [v.core for v in vcpus]
+                boundary = next_sample
+                if migrate and next_migration < boundary:
+                    boundary = next_migration
             initiator, guest_page, block_index, is_write = steppers[index]()
             vm_id = vm_ids[index]
             if initiator is guest_initiator:
@@ -441,9 +454,35 @@ class SimulationEngine:
 
         Called from the `_run_phase` fast path for the minority of accesses
         that miss the private hierarchy or store without exclusive tokens.
+        Split into a pure *plan* step (the memoised snoop-filter lookup,
+        which mutates nothing) and :meth:`_apply_transact` (everything
+        with side effects), so callers that must inspect a plan before
+        committing to it — the batched kernel's bulk-miss seam — can run
+        the plan step alone and hand the result back here.
         """
         self.stats.transactions_by_initiator[initiator] += 1
         plan = self._plan(core, vm_id, page_type, block)
+        return self._apply_transact(
+            core, vm_id, block, is_write, plan, vm_tag, hierarchy, hit
+        )
+
+    def _apply_transact(
+        self,
+        core: int,
+        vm_id: int,
+        block: int,
+        is_write: bool,
+        plan,
+        vm_tag: int,
+        hierarchy,
+        hit: bool,
+    ) -> int:
+        """Apply a planned transaction: execute, fill, observe.
+
+        The side-effecting half of :meth:`_transact`; the caller has
+        already bumped ``transactions_by_initiator`` and resolved the
+        plan.
+        """
         outcome = self._execute(
             core, vm_id, block, is_write, plan, cycle=self.now
         )

@@ -13,24 +13,29 @@ Three generation paths, chosen per VM at phase start:
 
 ``word``   (:class:`~repro.sim.mtstream.WordStream`, NumPy present)
     The VM's ``random.Random`` is forked into a bulk MT19937 word
-    stream. Each refill fetches a block of raw words and *fully
-    resolves* every access that could start at each word offset
-    (:func:`_encode`): category, write flag (including the per-category
-    override draws), the accepted hot-pool value of the rejection-
-    sampling chain, and the total word count the access consumes — one
-    small packed int per offset. The access loop then does no draw
-    arithmetic at all: read the lane, dispatch on the category, advance
-    the pointer by the precomputed skip. The float reconstruction
-    ``((a >> 5) * 2**26 + (b >> 6)) / 2**53`` is exact in float64 (no
-    rounding at any step), and the category is a sum of the same IEEE
-    compares ``bisect_right`` performs, so every resolved value agrees
-    with CPython bit-for-bit.
+    stream. Each refill fetches a block of raw words and decodes it in
+    two passes (:func:`_encode`): pass one resolves, vectorised across
+    every word offset, the access that would start there — category,
+    final write flag, the accepted hot-pool value of the rejection-
+    sampling chain, and the offset the next access starts at; pass two
+    walks the actual consumption chain from offset 0 and packs *only
+    the visited lanes* into one int each. The access loop then does no
+    draw arithmetic at all: read the next entry at a cursor, dispatch
+    on the category, store the absolute next-access pointer. The float
+    reconstruction ``((a >> 5) * 2**26 + (b >> 6)) / 2**53`` is exact
+    in float64 (no rounding at any step), and the category is a sum of
+    the same IEEE compares ``bisect_right`` performs, so every resolved
+    value agrees with CPython bit-for-bit.
 
-``chunk``  (workloads advertising ``stream_chunk`` + independence)
+``chunk``  (workloads advertising ``stream_chunk_independent``)
     Trace-replay (and other pre-recorded) workloads materialise runs of
-    accesses in bulk. The refill size is clamped to the vCPU's remaining
-    phase budget so positions land exactly where the reference loop
-    leaves them.
+    accesses in bulk — natively via ``stream_chunk`` or through
+    :func:`stream_chunk_shim` for workloads that only expose
+    ``next_access``. The refill size is clamped once, up front, to the
+    vCPU's remaining phase budget (so positions land exactly where the
+    reference loop leaves them) and to the next coherence-visible
+    deadline (migration window / metrics sample), so chunk bookkeeping
+    and boundary bookkeeping fold into a single per-refill computation.
 
 ``step``   (fallback)
     The reference per-access stepper closures. This is the pure-Python
@@ -42,7 +47,17 @@ Every coherence-visible event — a miss, a non-silent store, an eviction,
 COW, a migration window, a metrics sample — *bails out* to the same
 reference machinery (``self._transact``, ``self._maybe_migrate``,
 ``metrics.sample``), so the sanitizer, the tracer and every observer see
-an unchanged event stream.
+an unchanged event stream. One exception, and only when no observer is
+attached: the *bulk-miss seam* applies a same-VM private miss inline
+when its first transient attempt provably succeeds against current
+registry state and its replacement victim is clean and VM-local — the
+seam replays the reference path's counter updates and state mutations
+in their exact order, and everything else (shared/content pages,
+contended blocks, dirty or cross-VM victims, retry ladders) still bails
+to ``_transact``. A per-reason bail-out histogram
+(``BatchedEngine.bail_reasons``) records why misses stayed on the
+reference path; it lives on the engine, never on ``SimStats``, which
+stays byte-identical across kernels by contract.
 
 Stats-ordering invariant: the loop updates every counter in exactly the
 order the reference loop does; the only rewrites are call-free
@@ -57,12 +72,15 @@ the phase budget carried inside the heap tuples, and
 from __future__ import annotations
 
 import os
+from functools import partial
 from heapq import heapify, heappop, heapreplace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.line import CacheLine
-from repro.core.residence import UNTRACKED_VM
+from repro.coherence.registry import MEMORY, BlockState
+from repro.core.residence import UNTRACKED_VM, ResidenceTracker
 from repro.hypervisor.vm import DOM0_VM_ID
+from repro.interconnect.messages import MessageKind
 from repro.mem.pagetype import PageType
 from repro.sim.engine import SimulationEngine
 from repro.sim.mtstream import HAVE_NUMPY, WordStream
@@ -97,15 +115,17 @@ _MIN_BLOCK_WORDS = 32
 # Accesses per stream_chunk refill on the chunk path.
 _CHUNK_ACCESSES = 256
 
-# Packed-lane field widths of _encode (see layout there). Hot-pool draws
-# are ``word >> (32 - bits)`` and pool sizes are coverage-capped, so 16
-# bits per pool is generous; VMs exceeding it fall back to the stepper
-# path. The skip field caps the word count one lane can carry; longer
-# rejection chains (p ~ 2**-500) resolve through the scalar slow path.
+# Packed-entry field widths of _encode (see layout there). Hot-pool
+# draws are ``word >> (32 - bits)`` and pool sizes are coverage-capped,
+# so 16 bits per pool is generous; VMs exceeding it fall back to the
+# stepper path. The pointer field carries the *absolute* word offset the
+# next access starts at, so buffers are capped at 2**_PTR_BITS words
+# (enforced in _block_words; rejection chains long enough to outgrow a
+# grown buffer have probability ~2**-500 per extra block).
 _FIELD_BITS = 16
-_SKIP_BITS = 9
-_SKIP_MASK = (1 << _SKIP_BITS) - 1
-_RES_SHIFT = 4 + _SKIP_BITS
+_PTR_BITS = 24
+_PTR_MASK = (1 << _PTR_BITS) - 1
+_RES_SHIFT = 4 + _PTR_BITS
 
 _INV_2_53 = 1.0 / 9007199254740992.0  # 2**-53, as CPython's random()
 
@@ -149,18 +169,28 @@ def stream_chunk_shim(workload, vcpu_index: int, count: int) -> List[tuple]:
     Materialises one access at a time through the workload's own
     ``next_access``, so arbitrary (possibly cross-vCPU-coupled)
     generators stay exact — there is no lookahead to reorder their
-    internal draws beyond the ``count`` the caller batches.
+    internal draws beyond the ``count`` the caller batches. ``count`` is
+    the caller's responsibility: the kernel clamps it to the vCPU's
+    remaining phase budget (and the next chunk deadline) once up front,
+    so the loop here carries no per-access budget or exception
+    bookkeeping beyond one ``try`` frame for a trace running dry.
     """
-    out = []
+    out: List[tuple] = []
+    append = out.append
     next_access = workload.next_access
-    for _ in range(count):
-        try:
+    try:
+        for _ in range(count):
             access = next_access(vcpu_index)
-        except StopIteration:
-            break
-        out.append(
-            (access.initiator, access.guest_page, access.block_index, access.is_write)
-        )
+            append(
+                (
+                    access.initiator,
+                    access.guest_page,
+                    access.block_index,
+                    access.is_write,
+                )
+            )
+    except StopIteration:
+        pass
     return out
 
 
@@ -168,7 +198,9 @@ def _block_words() -> int:
     raw = os.environ.get(_BLOCK_WORDS_ENV)
     if not raw:
         return _DEFAULT_BLOCK_WORDS
-    return max(_MIN_BLOCK_WORDS, int(raw))
+    # Upper clamp keeps buffer offsets inside the packed entries'
+    # _PTR_BITS pointer field with room for carried-over tails.
+    return min(max(_MIN_BLOCK_WORDS, int(raw)), 1 << (_PTR_BITS - 2))
 
 
 def _shifted(array, k: int, fill, m: int, dtype):
@@ -253,12 +285,22 @@ def _pool(first, idx, hot, m: int, bits: int, pool: int, scratch=None):
 
 
 def _encode(words, enc) -> list:
-    """Fully-resolved access lanes: one packed int per word offset.
+    """Two-pass decode: packed entries for the *consumed* accesses only.
 
-    ``words`` is a uint64 ndarray of raw MT19937 output words. Lane
-    ``i`` describes the complete access that would *start* at word
-    ``i`` (category draw at ``i``/``i+1``, base write draw at
-    ``i+2``/``i+3``, category-specific draws after):
+    ``words`` is a uint64 ndarray of raw MT19937 output words. Pass one
+    resolves, vectorised across every word offset ``i``, the access that
+    would start there (category draw at ``i``/``i+1``, base write draw
+    at ``i+2``/``i+3``, category-specific draws after) — full-width work
+    is unavoidable for the rejection chains. Pass two walks the actual
+    consumption chain from offset 0 (each access advances the stream by
+    its own word count, so the chain is known statically) and gathers,
+    packs and materialises *only the visited lanes*: one access consumes
+    4+ words, so the old one-entry-per-offset encoding boxed ~6x more
+    Python ints than the loop ever read — pure overcompute, and the
+    dominant refill cost (DESIGN §6).
+
+    The returned list is consumed sequentially via ``_VmStream.cursor``;
+    each entry packs:
 
     =====  ========================================================
     bits   meaning
@@ -269,18 +311,16 @@ def _encode(words, enc) -> list:
     3      the access's *final* write flag: the base
            ``random() < write_fraction`` draw, overridden by the
            category's own fraction draw where the stepper overrides
-    4-12   total words the access consumes (4 or 6 for the walker
-           categories; ``chain + 5`` or ``chain + 7`` for the hot
-           ones). 0 is the saturation sentinel: the chain outgrew
-           the field, resolve through :meth:`_VmStream.slow`
-    13-28  the accepted hot-pool draw of this lane's category
+    4-27   the absolute word offset the *next* access starts at
+           (this access's start plus the words it consumes)
+    28-43  the accepted hot-pool draw of this entry's category
     =====  ========================================================
 
-    A lane whose access would read past the end of the buffer is ``-1``
-    (invalid): the consumer refills, which re-bases the access to
-    offset 0 of a longer buffer. Every float op matches CPython
-    exactly: ``(a*2**26 + b)`` with ``a < 2**27, b < 2**26`` is exact
-    at each step in both uint64 and float64, and all threshold/category
+    The list terminates with ``-1``: the next access would read past
+    the buffer. The consumer refills, which re-bases it to offset 0 of
+    a longer buffer. Every float op matches CPython exactly:
+    ``(a*2**26 + b)`` with ``a < 2**27, b < 2**26`` is exact at each
+    step in both uint64 and float64, and all threshold/category
     compares are the same IEEE operations the scalar code performs.
     """
     m = len(words) - 1
@@ -378,24 +418,45 @@ def _encode(words, enc) -> list:
         override = _shifted(hyp_flag, 4, False, m, _np.bool_)
         mask = (category == 2) | (category == 3)
         is_write = is_write ^ (mask & (override ^ is_write))
-    # Invalidity / saturation (order matters: the bound uses true skips).
-    work = scratch["i32d"]
-    _np.add(idx, skip, out=work)
-    bad = scratch["boolb"]
-    _np.greater_equal(work, m, out=bad)
-    _np.greater(skip, _SKIP_MASK, out=flag)
-    skip[flag] = 0
-    lanes = scratch["i32c"]
-    lanes[:] = category
-    _np.copyto(work, is_write)
-    work <<= 3
-    lanes += work
-    skip <<= 4
-    lanes += skip
-    resolved <<= _RES_SHIFT
-    lanes += resolved
-    lanes[bad] = -1
-    return lanes.tolist()
+    # Pass two: walk the consumption chain. Every in-range lane steps
+    # at least 4 words forward, so the walk visits ~m/6 lanes and always
+    # terminates at the first lane that would read past the buffer —
+    # that final lane is the old "-1 invalid" case, covered by the
+    # terminator appended below. The memoryview gives boxed-int reads
+    # without materialising the whole array through tolist().
+    nxt = scratch["i32d"]
+    _np.add(idx, skip, out=nxt)
+    if m > _PTR_MASK:
+        raise RuntimeError(
+            f"word buffer of {m} words overflows the {_PTR_BITS}-bit "
+            f"pointer field (REPRO_KERNEL_BLOCK too large?)"
+        )
+    walk = nxt.data
+    visited = []
+    append = visited.append
+    position = 0
+    while position < m:
+        append(position)
+        position = walk[position]
+    visited.pop()  # the terminating lane reads past the buffer
+    if not visited:
+        return [-1]
+    consumed = _np.asarray(visited, dtype=_np.int32)
+    # Gather + pack at consumed size (int64: pointer field bits 4-27,
+    # resolved draw above _RES_SHIFT).
+    entries = category.take(consumed).astype(_np.int64)
+    write_bits = is_write.take(consumed).astype(_np.int64)
+    write_bits <<= 3
+    entries += write_bits
+    pointers = nxt.take(consumed).astype(_np.int64)
+    pointers <<= 4
+    entries += pointers
+    draws = resolved.take(consumed).astype(_np.int64)
+    draws <<= _RES_SHIFT
+    entries += draws
+    out = entries.tolist()
+    out.append(-1)
+    return out
 
 
 class _VmStream:
@@ -406,6 +467,7 @@ class _VmStream:
         "stream",
         "words",
         "encoded",
+        "cursor",
         "pointer",
         "consumed",
         "block_words",
@@ -458,7 +520,8 @@ class _VmStream:
         self.block_words = block_words
         self.words = _np.empty(0, dtype=_np.uint64)
         self.encoded: list = [-1]  # forces a refill at the first access
-        self.pointer = 0
+        self.cursor = 0  # next entry of `encoded` to consume
+        self.pointer = 0  # word offset the next access starts at
         self.consumed = 0
         self._idx_full = None
         self._scratch_full = None
@@ -498,7 +561,6 @@ class _VmStream:
                 "u8": _np.empty(cap, dtype=_np.uint8),
                 "i32": _np.empty(cap, dtype=_np.int32),
                 "i32b": _np.empty(cap, dtype=_np.int32),
-                "i32c": _np.empty(cap, dtype=_np.int32),
                 "i32d": _np.empty(cap, dtype=_np.int32),
                 "bool": _np.empty(cap, dtype=_np.bool_),
                 "boolb": _np.empty(cap, dtype=_np.bool_),
@@ -507,54 +569,15 @@ class _VmStream:
 
     def refill(self, pointer: int) -> int:
         """Bank ``pointer`` consumed words, fetch a fresh block, rebuild
-        the packed lanes; returns the new pointer (0)."""
+        the packed entries; returns the new pointer (0)."""
         self.consumed += pointer
         tail = self.words[pointer:]
         fresh = self.stream.raw(self.block_words)
         self.words = _np.concatenate((tail, fresh)) if len(tail) else fresh
         self.encoded = _encode(self.words, self)
+        self.cursor = 0
+        self.pointer = 0
         return 0
-
-    def slow(
-        self,
-        pointer: int,
-        bits: int,
-        pool: int,
-        override_fraction: Optional[float],
-    ) -> Tuple[int, bool, int]:
-        """Scalar resolution of a hot draw the packed lane cannot carry
-        (a rejection chain longer than the skip field).
-
-        Walks the raw words exactly as the stepper's rejection loop
-        does, refilling — which re-bases the access to offset 0 of a
-        longer buffer — whenever the chain outruns it. Returns
-        ``(draw, is_write_override, new_pointer)``; the override bool is
-        meaningful only when ``override_fraction`` is given (the base
-        write flag in the lane stays valid otherwise). The caller must
-        reload ``encoded`` afterwards.
-        """
-        shift = 32 - bits
-        while True:
-            words = self.words
-            n = len(words)
-            j = pointer + 4
-            accepted = -1
-            while j < n:
-                draw = int(words[j]) >> shift
-                j += 1
-                if draw < pool:
-                    accepted = draw
-                    break
-            if accepted >= 0:
-                if override_fraction is None:
-                    return accepted, False, j
-                if j + 1 < n:
-                    value = (
-                        (int(words[j]) >> 5) * 67108864.0
-                        + (int(words[j + 1]) >> 6)
-                    ) * _INV_2_53
-                    return accepted, value < override_fraction, j + 2
-            pointer = self.refill(pointer)
 
     def finish(self, pointer: int) -> None:
         """Phase over: write the source RNG to the consumed position."""
@@ -581,6 +604,30 @@ def _word_eligible(workload) -> bool:
 
 class BatchedEngine(SimulationEngine):
     """Drop-in engine with the batched `_run_phase` (see module docs)."""
+
+    def __init__(self, system: SimulatedSystem) -> None:
+        super().__init__(system)
+        # Bulk-miss seam diagnostics. Engine-level on purpose, never on
+        # SimStats: stats stay byte-identical across kernels by
+        # contract. The histogram answers "why did a transaction stay
+        # on the reference path" (repro-sim profile, campaign
+        # manifests).
+        self.bulk_transacts = 0
+        self.bail_reasons: Dict[str, int] = {}
+
+    def _reset_measurements(self, cycle: int = 0) -> None:
+        super()._reset_measurements(cycle)
+        # Counters describe the measured phase only, like every other
+        # measurement the engine reports.
+        self.bulk_transacts = 0
+        self.bail_reasons.clear()
+
+    def bulk_summary(self) -> Dict[str, object]:
+        """Measured-phase bulk-seam diagnostics, JSON-ready."""
+        return {
+            "bulk_transacts": self.bulk_transacts,
+            "bailouts": dict(sorted(self.bail_reasons.items())),
+        }
 
     def _run_phase(
         self, clocks: List[int], budget: int, migrate: bool
@@ -680,22 +727,341 @@ class BatchedEngine(SimulationEngine):
                 content_cursors.append(None)
                 hyp_cursors.append(None)
                 dom0_cursors.append(None)
-        # Chunk path: workloads that materialise runs exactly.
-        chunk_workloads = []
+        # Chunk path: workloads that materialise runs exactly — natively
+        # via stream_chunk, or through the shim when the workload only
+        # exposes next_access but declares interleaving independence.
+        chunk_fns = []
         chunk_buffers = []
         chunk_positions = []
         for position, v in enumerate(vcpus):
             workload = workloads.get(v.vm_id)
-            use_chunk = (
+            fn = None
+            if (
                 slots[position] is None
                 and workload is not None
                 and getattr(workload, "stream_chunk_independent", False)
-                and hasattr(workload, "stream_chunk")
-            )
-            chunk_workloads.append(workload if use_chunk else None)
-            chunk_buffers.append([] if use_chunk else None)
+            ):
+                fn = getattr(workload, "stream_chunk", None)
+                if fn is None:
+                    fn = partial(stream_chunk_shim, workload)
+            chunk_fns.append(fn)
+            chunk_buffers.append([] if fn is not None else None)
             chunk_positions.append(0)
         vcpu_indices = [v.index for v in vcpus]
+        # Minimum spacing between two accesses of one vCPU: an access
+        # retires no faster than an L1 hit. Bounds how many accesses a
+        # chunk refill can need before the next migration/metrics
+        # deadline re-enters the boundary branch.
+        min_step = think + l1_latency
+        if min_step < 1:
+            min_step = 1
+
+        # --- bulk-miss seam (DESIGN §6) ------------------------------
+        # Applies an eligible same-VM private miss inline instead of
+        # descending through _transact -> execute -> _try_* -> fill. A
+        # miss is eligible only when its entire outcome is decided by
+        # the first transient attempt and its replacement victim is
+        # clean and VM-local; the seam then performs the reference
+        # path's counter updates and state mutations in their exact
+        # order (it calls the same network/memory/registry-eviction
+        # primitives, so window rollovers and traffic charges land
+        # identically). Anything else returns -1 and the caller falls
+        # back to the reference _transact. Gated off whenever an
+        # observer (sanitizer, tracer, outcome observer) is attached:
+        # those are wired through the seams the bulk path skips.
+        bulk = None
+        bail = self.bail_reasons
+        if (
+            self._sanitizer is None
+            and self._tracer is None
+            and self._observe_outcome is None
+        ):
+            protocol = self.system.protocol
+            cstats = protocol.stats
+            tx_by_initiator = stats.transactions_by_initiator
+            tx_by_page_type = cstats.transactions_by_page_type
+            snoops_by_page_type = cstats.snoops_by_page_type
+            network = self.system.network
+            window_cycles = network.window_cycles
+            advance_window = network._advance_window
+            per_hop = network._per_hop
+            contention_scale = network.contention_scale
+            link_bytes = network.sizing.link_bytes
+            hops_tbl = network._hops
+            req_flits = network._flits[MessageKind.REQUEST]
+            data_flits = network._flits[MessageKind.DATA]
+            rd_flits = req_flits + data_flits
+            wb_flits = network._flits[MessageKind.WRITEBACK]
+            tr_flits = network._flits[MessageKind.TOKEN_RETURN]
+            mc_cache = network._mc_cache
+            mc_cache_max = network._mc_cache_max
+            aggregate_hops = network._aggregate_hops
+            snoop_lookup = protocol.snoop_lookup_latency
+            memory = protocol.memory
+            mem_node = memory.node
+            mem_latency = memory.latency
+            plan_fn = self._plan
+            vm_private = PageType.VM_PRIVATE
+            memory_holder = MEMORY
+            block_state = BlockState
+            cache_line = CacheLine
+            as_frozenset = frozenset
+            l2_ways = any_hierarchy._l2_ways
+            l2_observers = [h._l2_observer for h in hierarchies]
+            # Residence trackers inline too (the victim is VM-local and
+            # tracked by eligibility); any other observer shape falls
+            # back to the generic on_evict/on_insert calls.
+            res_counts = []
+            res_on_low = []
+            res_thresholds = []
+            res_trackers = []
+            for h in hierarchies:
+                ob = h._l2_observer
+                if type(ob) is ResidenceTracker:
+                    res_trackers.append(ob)
+                    res_counts.append(ob._counts)
+                    res_on_low.append(ob.on_low)
+                    res_thresholds.append(ob.threshold)
+                else:
+                    res_trackers.append(None)
+                    res_counts.append(None)
+                    res_on_low.append(None)
+                    res_thresholds.append(0)
+
+            def bulk(
+                core,
+                vm_id,
+                block,
+                is_write,
+                page_type,
+                initiator,
+                vm_tag,
+                l1_set,
+                l2_set,
+                cycle,
+            ):
+                # ---- eligibility (pure: no counters, no mutation) ----
+                # Check order is cheapest-first: the victim peek is two
+                # dict ops while the plan/registry checks cost a call
+                # each, and dirty victims dominate the bail mix on
+                # write-heavy cells.
+                if page_type is not vm_private:
+                    bail["page-type"] = bail.get("page-type", 0) + 1
+                    return -1
+                victim = None
+                if len(l2_set) >= l2_ways:
+                    victim = next(iter(l2_set.values()))
+                    if victim.dirty:
+                        bail["victim-dirty"] = bail.get("victim-dirty", 0) + 1
+                        return -1
+                    if victim.vm_id != vm_id:
+                        bail["victim-cross-vm"] = (
+                            bail.get("victim-cross-vm", 0) + 1
+                        )
+                        return -1
+                plan = plan_fn(core, vm_id, page_type, block)
+                destinations = plan.attempts[0]
+                state = reg_blocks.get(block)
+                if is_write:
+                    # GETM succeeds on attempt 0 with no invalidations
+                    # only when no core holds any token.
+                    if state is not None and (
+                        state.sharers or state.owner != memory_holder
+                    ):
+                        bail["getm-contended"] = (
+                            bail.get("getm-contended", 0) + 1
+                        )
+                        return -1
+                    owner = memory_holder
+                else:
+                    owner = state.owner if state is not None else memory_holder
+                    if owner != memory_holder and owner not in destinations:
+                        bail["gets-retry"] = bail.get("gets-retry", 0) + 1
+                        return -1
+                # ---- commit: the reference path's effects, in its
+                # exact order (_transact -> execute -> _try_* ->
+                # _apply_transact's fill -> handle_eviction). One window
+                # check covers every network leg charged at this cycle
+                # (the window can roll over at most once per cycle value
+                # — the same fusion _memory_read_latency uses), so the
+                # contention term is one hoisted constant, and the
+                # traffic counters are flushed in one batch at the end
+                # (nothing reads them mid-transaction: the sanitizer is
+                # gated off and metrics sample between accesses).
+                if cycle - network._window_start >= window_cycles:
+                    advance_window(cycle)
+                u = network._last_utilisation
+                contention = int(contention_scale * u / (1.0 - u))
+                tx_by_initiator[initiator] += 1
+                cstats.transactions += 1
+                tx_by_page_type[page_type] += 1
+                if is_write:
+                    cstats.getm_count += 1
+                else:
+                    cstats.gets_count += 1
+                snoops = len(destinations)
+                cstats.snoops += snoops
+                snoops_by_page_type[page_type] += snoops
+                # Request multicast (inlined network.multicast).
+                if type(destinations) is not as_frozenset:
+                    destinations = as_frozenset(destinations)
+                key = (core, destinations)
+                agg = mc_cache.get(key)
+                if agg is None:
+                    if len(mc_cache) >= mc_cache_max:
+                        mc_cache.clear()
+                    agg = mc_cache[key] = aggregate_hops(core, destinations)
+                mc_count, mc_total_hops, worst_hops = agg
+                msgs = mc_count
+                fh = req_flits * mc_total_hops if mc_count else 0
+                attempt_latency = (
+                    0 if worst_hops == 0 else worst_hops * per_hop + contention
+                )
+                if is_write:
+                    # grant_exclusive with no prior holders, then memory
+                    # sources the data (_try_getm's success order).
+                    if state is None:
+                        state = reg_blocks[block] = block_state()
+                    state.sharers = {core}
+                    state.owner = core
+                    state.dirty = True
+                    state.providers.clear()
+                    if core == mem_node:
+                        memory.data_reads += 1
+                        completion = mem_latency
+                    else:
+                        hops = hops_tbl[core][mem_node]
+                        msgs += 2
+                        fh += rd_flits * hops
+                        path = hops * per_hop + contention
+                        memory.data_reads += 1
+                        completion = path + mem_latency + path
+                    cstats.memory_sourced += 1
+                elif owner == MEMORY:
+                    if core == mem_node:
+                        memory.data_reads += 1
+                        completion = mem_latency
+                    else:
+                        hops = hops_tbl[core][mem_node]
+                        msgs += 2
+                        fh += rd_flits * hops
+                        path = hops * per_hop + contention
+                        memory.data_reads += 1
+                        completion = path + mem_latency + path
+                    cstats.memory_sourced += 1
+                    if state is None:
+                        state = reg_blocks[block] = block_state()
+                        state.sharers = {core}
+                        state.owner = core
+                    elif not state.sharers:
+                        # MOESI E state (grant_exclusive, dirty=False).
+                        state.sharers = {core}
+                        state.owner = core
+                        state.dirty = False
+                        state.providers.clear()
+                    else:
+                        state.sharers.add(core)
+                else:
+                    # Cache-to-cache: the owner is inside attempt 0
+                    # (request leg + snoop lookup + DATA leg back).
+                    if core == owner:
+                        completion = snoop_lookup
+                    else:
+                        hops = hops_tbl[core][owner]
+                        back = hops_tbl[owner][core]
+                        msgs += 1
+                        fh += data_flits * back
+                        completion = (
+                            hops * per_hop
+                            + contention
+                            + snoop_lookup
+                            + back * per_hop
+                            + contention
+                        )
+                    cstats.cache_to_cache += 1
+                    state.sharers.add(core)
+                # ---- fill (dirty == is_write here: fill_dirty is True
+                # exactly for GETM, where is_write is True already) ----
+                counts = res_counts[core]
+                observer = l2_observers[core]
+                if victim is not None:
+                    victim_block = victim.block
+                    del l2_set[victim_block]
+                    if counts is not None:
+                        # Inlined ResidenceTracker.on_evict: the victim
+                        # is VM-local and tracked by eligibility.
+                        current = counts.get(vm_id, 0) - 1
+                        if current < 0:
+                            # Canonical underflow diagnostics.
+                            res_trackers[core].on_evict(victim)
+                        elif current == 0:
+                            del counts[vm_id]
+                        else:
+                            counts[vm_id] = current
+                        if current <= res_thresholds[core]:
+                            on_low = res_on_low[core]
+                            if on_low is not None:
+                                on_low(core, vm_id, current)
+                    elif observer is not None:
+                        observer.on_evict(victim)
+                line = cache_line(block, vm_tag, is_write)
+                l2_set[block] = line
+                if counts is not None:
+                    counts[vm_id] = counts.get(vm_id, 0) + 1
+                elif observer is not None:
+                    observer.on_insert(line)
+                if victim is not None:
+                    l1_sets_by_core[core][victim_block & l1_mask].pop(
+                        victim_block, None
+                    )
+                if len(l1_set) >= l1_ways:
+                    del l1_set[next(iter(l1_set))]
+                l1_set[block] = cache_line(block, vm_tag, is_write)
+                if victim is not None:
+                    # Inlined registry.evicted + handle_eviction: tokens
+                    # (and dirty data) travel back to memory. The send's
+                    # latency is discarded by the reference too, so only
+                    # its traffic is charged.
+                    vstate = reg_blocks.get(victim_block)
+                    if vstate is not None and core in vstate.sharers:
+                        vsharers = vstate.sharers
+                        vsharers.discard(core)
+                        if vstate.providers:
+                            for pvm, prov in list(vstate.providers.items()):
+                                if prov == core:
+                                    del vstate.providers[pvm]
+                        if vstate.owner == core:
+                            vstate.owner = memory_holder
+                            if vstate.dirty or victim.dirty:
+                                vstate.dirty = False
+                                memory.writebacks += 1
+                                if core != mem_node:
+                                    msgs += 1
+                                    fh += wb_flits * hops_tbl[core][mem_node]
+                            else:
+                                memory.token_returns += 1
+                                if core != mem_node:
+                                    msgs += 1
+                                    fh += tr_flits * hops_tbl[core][mem_node]
+                        else:
+                            memory.token_returns += 1
+                            if core != mem_node:
+                                msgs += 1
+                                fh += tr_flits * hops_tbl[core][mem_node]
+                        if not vsharers:
+                            if vstate.owner == memory_holder and not vstate.providers:
+                                del reg_blocks[victim_block]
+                if msgs:
+                    network.messages += msgs
+                    network.flit_hops += fh
+                    network.bytes_transferred += fh * link_bytes
+                    network._window_flit_hops += fh
+                self.bulk_transacts += 1
+                return (
+                    attempt_latency
+                    if attempt_latency >= completion
+                    else completion
+                )
 
         local_time = self.now
         try:
@@ -722,40 +1088,29 @@ class BatchedEngine(SimulationEngine):
                 # ---- generation --------------------------------------
                 vm_stream = slots[index]
                 if vm_stream is not None:
-                    pointer = vm_stream.pointer
-                    encoded = vm_stream.encoded
-                    word = encoded[pointer]
+                    entry_at = vm_stream.cursor
+                    word = vm_stream.encoded[entry_at]
                     if word < 0:
-                        # Lane cut by the buffer edge: refill re-bases
+                        # Chain cut by the buffer edge: refill re-bases
                         # the access to offset 0 of a longer buffer (and
                         # keeps growing it for pathological chains).
                         while True:
-                            pointer = vm_stream.refill(pointer)
-                            encoded = vm_stream.encoded
-                            word = encoded[0]
+                            vm_stream.refill(vm_stream.pointer)
+                            word = vm_stream.encoded[0]
                             if word >= 0:
                                 break
+                        entry_at = 0
+                    vm_stream.cursor = entry_at + 1
+                    vm_stream.pointer = (word >> 4) & 16777215
                     category = word & 7
                     initiator = guest_initiator
                     if category == 7:  # private hot
-                        skip = (word >> 4) & 511
-                        if skip:
-                            draw = word >> 13
-                            vm_stream.pointer = pointer + skip
-                        else:  # saturated lane: scalar chain walk
-                            draw, _over, new_pointer = vm_stream.slow(
-                                pointer,
-                                vm_stream.private_bits,
-                                vm_stream.private_pool,
-                                None,
-                            )
-                            vm_stream.pointer = new_pointer
+                        draw = word >> 28
                         is_write = (word & 8) != 0
                         guest_page = private_bases[index] + (draw >> 6)
                         block_index = draw & 63
                     elif category == 6:  # private stream
                         is_write = (word & 8) != 0
-                        vm_stream.pointer = pointer + 4
                         cursor = private_cursors[index]
                         guest_page = cursor.base + cursor.page
                         block_index = cursor.block
@@ -766,24 +1121,12 @@ class BatchedEngine(SimulationEngine):
                         else:
                             cursor.block = nxt
                     elif category == 5:  # shared hot
-                        skip = (word >> 4) & 511
-                        if skip:
-                            draw = word >> 13
-                            is_write = (word & 8) != 0
-                            vm_stream.pointer = pointer + skip
-                        else:
-                            draw, is_write, new_pointer = vm_stream.slow(
-                                pointer,
-                                vm_stream.shared_bits,
-                                vm_stream.shared_pool,
-                                vm_stream.shared_write_fraction,
-                            )
-                            vm_stream.pointer = new_pointer
+                        draw = word >> 28
+                        is_write = (word & 8) != 0
                         guest_page = shared_hot_base + (draw >> 6)
                         block_index = draw & 63
                     elif category == 4:  # shared stream
                         is_write = (word & 8) != 0
-                        vm_stream.pointer = pointer + 6
                         cursor = shared_cursors[index]
                         guest_page = cursor.base + cursor.page
                         block_index = cursor.block
@@ -795,7 +1138,6 @@ class BatchedEngine(SimulationEngine):
                             cursor.block = nxt
                     elif category == 0:  # content stream
                         is_write = (word & 8) != 0
-                        vm_stream.pointer = pointer + 6
                         cursor = content_cursors[index]
                         guest_page = cursor.base + cursor.page
                         block_index = cursor.block
@@ -806,24 +1148,12 @@ class BatchedEngine(SimulationEngine):
                         else:
                             cursor.block = nxt
                     elif category == 1:  # content hot
-                        skip = (word >> 4) & 511
-                        if skip:
-                            draw = word >> 13
-                            is_write = (word & 8) != 0
-                            vm_stream.pointer = pointer + skip
-                        else:
-                            draw, is_write, new_pointer = vm_stream.slow(
-                                pointer,
-                                vm_stream.content_bits,
-                                vm_stream.content_pool,
-                                vm_stream.content_write_fraction,
-                            )
-                            vm_stream.pointer = new_pointer
+                        draw = word >> 28
+                        is_write = (word & 8) != 0
                         guest_page = content_hot_base + (draw >> 6)
                         block_index = draw & 63
                     elif category == 2:  # hypervisor
                         is_write = (word & 8) != 0
-                        vm_stream.pointer = pointer + 6
                         cursor = hyp_cursors[index]
                         guest_page = cursor.base + cursor.page
                         block_index = cursor.block
@@ -836,7 +1166,6 @@ class BatchedEngine(SimulationEngine):
                         initiator = hyp_initiator
                     else:  # dom0
                         is_write = (word & 8) != 0
-                        vm_stream.pointer = pointer + 6
                         cursor = dom0_cursors[index]
                         guest_page = cursor.base + cursor.page
                         block_index = cursor.block
@@ -852,14 +1181,29 @@ class BatchedEngine(SimulationEngine):
                     if buffer is not None:
                         position = chunk_positions[index]
                         if position >= len(buffer):
-                            # Clamp to the remaining phase budget so the
-                            # workload's positions end the phase exactly
-                            # where the reference loop leaves them (the
-                            # max(1, ...) covers the budget-0 edge where
-                            # the reference still generates one access).
-                            buffer = chunk_workloads[index].stream_chunk(
-                                vcpu_indices[index],
-                                max(1, min(_CHUNK_ACCESSES, count)),
+                            # Clamp once, up front: to the remaining
+                            # phase budget (so the workload's positions
+                            # end the phase exactly where the reference
+                            # loop leaves them) and to the next
+                            # migration/metrics deadline — this vCPU
+                            # cannot consume more than `cap` accesses
+                            # before the boundary branch re-runs, so a
+                            # longer refill is pure lookahead. The n<1
+                            # floor covers the budget-0 edge where the
+                            # reference still generates one access.
+                            n = (
+                                _CHUNK_ACCESSES
+                                if count > _CHUNK_ACCESSES
+                                else count
+                            )
+                            if boundary < infinity:
+                                cap = (boundary - local_time) // min_step + 1
+                                if cap < n:
+                                    n = int(cap)
+                            if n < 1:
+                                n = 1
+                            buffer = chunk_fns[index](
+                                vcpu_indices[index], n
                             )
                             if not buffer:
                                 raise StopIteration(
@@ -937,12 +1281,20 @@ class BatchedEngine(SimulationEngine):
                             if state.owner == core and state.sharers == {core}:
                                 state.dirty = True
                             else:
+                                if bulk is not None:
+                                    bail["store-upgrade"] = (
+                                        bail.get("store-upgrade", 0) + 1
+                                    )
                                 self.now = local_time
                                 latency += transact(
                                     core, vm_id, block, True, page_type,
                                     initiator, vm_tag, hierarchies[core], True,
                                 )
                         else:
+                            if bulk is not None:
+                                bail["store-upgrade"] = (
+                                    bail.get("store-upgrade", 0) + 1
+                                )
                             self.now = local_time
                             latency += transact(
                                 core, vm_id, block, True, page_type,
@@ -971,12 +1323,20 @@ class BatchedEngine(SimulationEngine):
                                 ):
                                     state.dirty = True
                                 else:
+                                    if bulk is not None:
+                                        bail["store-upgrade"] = (
+                                            bail.get("store-upgrade", 0) + 1
+                                        )
                                     self.now = local_time
                                     latency += transact(
                                         core, vm_id, block, True, page_type,
                                         initiator, vm_tag, hierarchy, True,
                                     )
                             else:
+                                if bulk is not None:
+                                    bail["store-upgrade"] = (
+                                        bail.get("store-upgrade", 0) + 1
+                                    )
                                 self.now = local_time
                                 latency += transact(
                                     core, vm_id, block, True, page_type,
@@ -986,10 +1346,23 @@ class BatchedEngine(SimulationEngine):
                         hierarchy = hierarchies[core]
                         hierarchy.misses += 1
                         self.now = local_time
-                        latency = l12_latency + transact(
-                            core, vm_id, block, is_write, page_type,
-                            initiator, vm_tag, hierarchy, False,
-                        )
+                        if bulk is not None:
+                            extra = bulk(
+                                core, vm_id, block, is_write, page_type,
+                                initiator, vm_tag, l1_set, l2_set,
+                                local_time,
+                            )
+                            if extra < 0:
+                                extra = transact(
+                                    core, vm_id, block, is_write, page_type,
+                                    initiator, vm_tag, hierarchy, False,
+                                )
+                            latency = l12_latency + extra
+                        else:
+                            latency = l12_latency + transact(
+                                core, vm_id, block, is_write, page_type,
+                                initiator, vm_tag, hierarchy, False,
+                            )
 
                 # ---- schedule (provably the reference pop order) -----
                 next_time = local_time + think + latency

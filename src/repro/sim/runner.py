@@ -95,6 +95,22 @@ class SimTask(NamedTuple):
     app: str
 
 
+# Engine diagnostics of the most recent run_simulation_task call in this
+# process — a side channel because SimStats is byte-identical across
+# kernels by contract and cannot carry kernel-specific counters. The
+# executors pop it (consume_diagnostics) right after the task function
+# returns, in the same process that ran the cell.
+_last_diagnostics: Optional[dict] = None
+
+
+def consume_diagnostics() -> Optional[dict]:
+    """Pop the diagnostics left behind by the last cell run here."""
+    global _last_diagnostics
+    diagnostics = _last_diagnostics
+    _last_diagnostics = None
+    return diagnostics
+
+
 def run_simulation_task(task: SimTask) -> SimStats:
     """Build, run and return the statistics of one task.
 
@@ -117,6 +133,13 @@ def run_simulation_task(task: SimTask) -> SimStats:
     skips) but still produce them — the architectural state is
     unaffected by the pure-observer sanitizer.
     """
+    # Safe under parallel_map: the side channel is written and consumed
+    # in the same process — _detailed_child pops it before the worker
+    # sends its result over the pipe, and the serial path pops it right
+    # after task_fn returns — and it is reset here at cell entry, so
+    # nothing leaks across cells on either path.
+    global _last_diagnostics  # repro-lint: disable=RPL130; same-process side channel, popped per cell
+    _last_diagnostics = None
     store = get_store()
     if store is not None:
         stats = store.load_result(
@@ -127,6 +150,9 @@ def run_simulation_task(task: SimTask) -> SimStats:
     system, engine, clocks = prepare_task(task)
     engine.measure(clocks)
     stats = system.stats
+    summary_fn = getattr(engine, "bulk_summary", None)
+    if summary_fn is not None:
+        _last_diagnostics = summary_fn()
     if store is not None:
         store.save_result(
             task_key(task), task.app, config_to_dict(task.config), stats
@@ -317,6 +343,11 @@ class TaskResult(NamedTuple):
     from_checkpoint: bool
     # Served by the cross-run result store (repro.store) without running.
     from_store: bool = False
+    # Engine-side diagnostics that must never live on SimStats (results
+    # stay byte-identical across kernels by contract): currently the
+    # batched kernel's bulk-miss seam summary. None when the cell was
+    # replayed from checkpoint/store or ran on the reference engine.
+    diagnostics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -581,6 +612,11 @@ def _manifest_entry(result: TaskResult, key: str) -> dict:
             entry["filtered_snoop_fraction"] = round(
                 1.0 - stats.coherence.snoops / broadcast_snoops, 6
             )
+    # Cells that ran on the batched kernel carry its bulk-miss seam
+    # summary (inline transactions + per-reason bail-out histogram) —
+    # engine diagnostics that by contract never appear in SimStats.
+    if result.diagnostics:
+        entry["kernel_bulk"] = result.diagnostics
     # Cells run with a metrics recorder carry their time-series into the
     # manifest, so a campaign's temporal behaviour (Figures 7-9) is
     # inspectable without re-running anything.
@@ -706,10 +742,10 @@ def _detailed_child(conn, task_fn, index, task, retries):
         except Exception:
             error = traceback.format_exc()
         else:
-            conn.send((index, stats, None, attempts, time.perf_counter() - start))  # repro-lint: disable=RPL004; cell runtime metric
+            conn.send((index, stats, None, attempts, time.perf_counter() - start, consume_diagnostics()))  # repro-lint: disable=RPL004; cell runtime metric
             conn.close()
             return
-    conn.send((index, None, error, attempts, time.perf_counter() - start))  # repro-lint: disable=RPL004; cell runtime metric
+    conn.send((index, None, error, attempts, time.perf_counter() - start, None))  # repro-lint: disable=RPL004; cell runtime metric
     conn.close()
 
 
@@ -736,7 +772,16 @@ def _run_serial(tasks, indices, task_fn, retries, on_complete):
                 error = None
                 break
         on_complete(
-            TaskResult(i, tasks[i], stats, error, attempts, time.perf_counter() - start, False)  # repro-lint: disable=RPL004; cell runtime metric
+            TaskResult(
+                i,
+                tasks[i],
+                stats,
+                error,
+                attempts,
+                time.perf_counter() - start,  # repro-lint: disable=RPL004; cell runtime metric
+                False,
+                diagnostics=consume_diagnostics() if error is None else None,
+            )
         )
 
 
@@ -771,7 +816,7 @@ def _run_parallel(tasks, indices, jobs, task_fn, retries, task_timeout, on_compl
                 i = by_conn[conn]
                 proc, _, started = running.pop(i)
                 try:
-                    _, stats, error, attempts, wall = conn.recv()
+                    _, stats, error, attempts, wall, diagnostics = conn.recv()
                 except EOFError:
                     proc.join()
                     on_complete(
@@ -788,7 +833,12 @@ def _run_parallel(tasks, indices, jobs, task_fn, retries, task_timeout, on_compl
                     )
                 else:
                     proc.join()
-                    on_complete(TaskResult(i, tasks[i], stats, error, attempts, wall, False))
+                    on_complete(
+                        TaskResult(
+                            i, tasks[i], stats, error, attempts, wall, False,
+                            diagnostics=diagnostics,
+                        )
+                    )
                 finally:
                     conn.close()
             if task_timeout is not None:
